@@ -1,0 +1,376 @@
+package recordlayer
+
+// One benchmark per experiment in EXPERIMENTS.md, plus microbenchmarks for
+// the load-bearing substrates. The experiment benches call the same harness
+// functions as cmd/experiments, so `go test -bench .` regenerates every
+// table and figure's underlying measurement.
+
+import (
+	"fmt"
+	"testing"
+
+	"recordlayer/internal/core"
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/exp"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/index"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/plan"
+	"recordlayer/internal/query"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// ---------------------------------------------------------------- figures & tables
+
+// BenchmarkFigure1StorePopulation regenerates Figure 1's store size
+// distribution and reports its two headline fractions.
+func BenchmarkFigure1StorePopulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.RunFigure1(nil, 100_000)
+		b.ReportMetric(res.FractionUnder1KB*100, "%stores<1kB")
+		b.ReportMetric(res.BytesFractionOver1MB*100, "%bytes>1MB")
+	}
+}
+
+// BenchmarkTable1ZoneConcurrency regenerates Table 1's measured rows.
+func BenchmarkTable1ZoneConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable1(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.CassandraCASFailures), "cassandra-cas-fails")
+		b.ReportMetric(float64(res.RecordLayerConflicts), "rl-conflicts")
+	}
+}
+
+// BenchmarkTable2TextBunching regenerates Table 2's space measurement.
+func BenchmarkTable2TextBunching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(nil, 60, []int{1, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerBunchSize[0].BytesPerDoc, "B/doc-unbunched")
+		b.ReportMetric(res.PerBunchSize[1].BytesPerDoc, "B/doc-bunch20")
+		b.ReportMetric(res.PerBunchSize[1].MeanBunch, "mean-bunch")
+	}
+}
+
+// BenchmarkSection82Overheads regenerates the §8.2 key-overhead statistics.
+func BenchmarkSection82Overheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunOverheads(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.QueryKeysRead, "query-keys")
+		b.ReportMetric(res.QueryOverheadFrac*100, "query-overhead-%")
+		b.ReportMetric(res.SaveIndexPerRecord, "index-writes/record")
+	}
+}
+
+// BenchmarkSection2TxnSizes regenerates the §2 transaction size percentiles.
+func BenchmarkSection2TxnSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTxnSizes(nil, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MedianBytes, "p50-bytes")
+		b.ReportMetric(res.P99Bytes, "p99-bytes")
+	}
+}
+
+// BenchmarkFigure5RankLookup measures rank queries on the skip list after
+// verifying the paper's worked example.
+func BenchmarkFigure5RankLookup(b *testing.B) {
+	res, err := exp.RunFigure5(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.RankOfE != 4 {
+		b.Fatalf("rank(e) = %d", res.RankOfE)
+	}
+	db, md, sp := benchStore(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		i := i
+		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+			if err != nil {
+				return nil, err
+			}
+			_, _, err = s.Rank("by_score_rank", tuple.Tuple{int64(i % 2000)}, tuple.Tuple{"U", int64(i % 2000)})
+			return nil, err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblationAtomicVsRMW regenerates ablation A1.
+func BenchmarkAblationAtomicVsRMW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunAtomicVsRMW(nil, 8, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AtomicConflicts), "atomic-conflicts")
+		b.ReportMetric(float64(res.RMWConflicts), "rmw-conflicts")
+	}
+}
+
+// BenchmarkAblationVersionCache regenerates ablation A2.
+func BenchmarkAblationVersionCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunVersionCache(nil, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.GRVWithoutCache), "grv-no-cache")
+		b.ReportMetric(float64(res.GRVWithCache), "grv-cached")
+	}
+}
+
+// BenchmarkAblationBunchSweep regenerates ablation A3.
+func BenchmarkAblationBunchSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(nil, 40, []int{1, 2, 5, 10, 20, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range res.PerBunchSize {
+			b.ReportMetric(m.BytesPerDoc, fmt.Sprintf("B/doc-bunch%d", m.BunchSize))
+		}
+	}
+}
+
+// BenchmarkAblationSyncIndex regenerates ablation A4.
+func BenchmarkAblationSyncIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunSyncAblation(nil, 6, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.CounterCASFailures), "counter-cas-fails")
+		b.ReportMetric(float64(res.VersionIndexConflicts), "version-index-conflicts")
+	}
+}
+
+// ---------------------------------------------------------------- micro
+
+func benchSchema() (*message.Descriptor, *metadata.MetaData) {
+	user := message.MustDescriptor("U",
+		message.Field("id", 1, message.TypeInt64),
+		message.Field("name", 2, message.TypeString),
+		message.Field("score", 3, message.TypeInt64),
+	)
+	md := metadata.NewBuilder(1).
+		AddRecordType(user, keyexpr.Then(keyexpr.RecordType(), keyexpr.Field("id"))).
+		AddIndex(&metadata.Index{Name: "by_name", Type: metadata.IndexValue,
+			Expression: keyexpr.Field("name")}, "U").
+		AddIndex(&metadata.Index{Name: "score_sum", Type: metadata.IndexSum,
+			Expression: keyexpr.Ungrouped(keyexpr.Field("score"))}, "U").
+		AddIndex(&metadata.Index{Name: "by_score_rank", Type: metadata.IndexRank,
+			Expression: keyexpr.Field("score")}, "U").
+		MustBuild()
+	return user, md
+}
+
+func benchStore(b *testing.B, n int) (*fdb.Database, *metadata.MetaData, subspace.Subspace) {
+	b.Helper()
+	user, md := benchSchema()
+	db := fdb.Open(nil)
+	sp := subspace.FromTuple(tuple.Tuple{"bench"})
+	const batch = 200
+	for lo := 0; lo < n; lo += batch {
+		lo := lo
+		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+			s, err := core.Open(tr, md, sp, core.OpenOptions{CreateIfMissing: true})
+			if err != nil {
+				return nil, err
+			}
+			for i := lo; i < lo+batch && i < n; i++ {
+				rec := message.New(user).
+					MustSet("id", int64(i)).
+					MustSet("name", fmt.Sprintf("user-%06d", i)).
+					MustSet("score", int64(i))
+				if _, err := s.SaveRecord(rec); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, md, sp
+}
+
+// BenchmarkSaveRecord measures the full save pipeline: load-old, maintain
+// three indexes, split and write.
+func BenchmarkSaveRecord(b *testing.B) {
+	user, md := benchSchema()
+	db := fdb.Open(nil)
+	sp := subspace.FromTuple(tuple.Tuple{"bench"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		i := i
+		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+			s, err := core.Open(tr, md, sp, core.OpenOptions{CreateIfMissing: true})
+			if err != nil {
+				return nil, err
+			}
+			rec := message.New(user).
+				MustSet("id", int64(i)).
+				MustSet("name", fmt.Sprintf("user-%06d", i)).
+				MustSet("score", int64(i))
+			_, err = s.SaveRecord(rec)
+			return nil, err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadRecord measures a point read (version slot + data).
+func BenchmarkLoadRecord(b *testing.B) {
+	db, md, sp := benchStore(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		i := i
+		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+			if err != nil {
+				return nil, err
+			}
+			rec, err := s.LoadRecordByKey(tuple.Tuple{"U", int64(i % 1000)})
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil {
+				return nil, fmt.Errorf("missing record %d", i%1000)
+			}
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexScan measures a 50-entry index range scan plus fetches.
+func BenchmarkIndexScan(b *testing.B) {
+	db, md, sp := benchStore(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+			if err != nil {
+				return nil, err
+			}
+			c, err := s.ScanIndex("by_name", index.TupleRange{
+				Low: tuple.Tuple{"user-000100"}, LowInclusive: true,
+				High: tuple.Tuple{"user-000150"}, HighInclusive: false,
+			}, index.ScanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			recs, _, _, err := cursor.Collect(s.FetchIndexed(c))
+			if err != nil {
+				return nil, err
+			}
+			if len(recs) != 50 {
+				return nil, fmt.Errorf("scan returned %d", len(recs))
+			}
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannedQuery measures planning plus execution of an indexed query.
+func BenchmarkPlannedQuery(b *testing.B) {
+	db, md, sp := benchStore(b, 1000)
+	planner := plan.New(md, plan.Config{})
+	q := query.RecordQuery{RecordTypes: []string{"U"},
+		Filter: query.Field("name").BeginsWith("user-0002")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := planner.Plan(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+			if err != nil {
+				return nil, err
+			}
+			c, err := p.Execute(s, plan.ExecuteOptions{})
+			if err != nil {
+				return nil, err
+			}
+			recs, _, _, err := cursor.Collect(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(recs) != 100 {
+				return nil, fmt.Errorf("query returned %d", len(recs))
+			}
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuplePack measures tuple encoding.
+func BenchmarkTuplePack(b *testing.B) {
+	t := tuple.Tuple{"record-store", int64(42), "user", int64(123456789), true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Pack()
+	}
+}
+
+// BenchmarkMessageMarshal measures dynamic protobuf encoding.
+func BenchmarkMessageMarshal(b *testing.B) {
+	user, _ := benchSchema()
+	m := message.New(user).
+		MustSet("id", int64(7)).
+		MustSet("name", "benchmark-user").
+		MustSet("score", int64(999))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVTransactionCommit measures the simulator's raw commit path.
+func BenchmarkKVTransactionCommit(b *testing.B) {
+	db := fdb.Open(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		i := i
+		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+			return nil, tr.Set([]byte(fmt.Sprintf("key-%09d", i)), []byte("value"))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the index and DESIGN.md for the
+// substitutions). Run a single experiment with -run <id> or everything with
+// -run all.
+//
+//	go run ./cmd/experiments -run all
+//	go run ./cmd/experiments -run f1      # Figure 1
+//	go run ./cmd/experiments -run t1      # Table 1
+//	go run ./cmd/experiments -run t2      # Table 2
+//	go run ./cmd/experiments -run e1      # §8.2 key overheads
+//	go run ./cmd/experiments -run e2      # §2 transaction sizes
+//	go run ./cmd/experiments -run f5      # Figure 5 rank walkthrough
+//	go run ./cmd/experiments -run a1..a4  # ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recordlayer/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id: f1,t1,t2,e1,e2,f5,a1,a2,a3,a4,all")
+	stores := flag.Int("stores", 200_000, "synthetic record stores for Figure 1")
+	docs := flag.Int("docs", 233, "documents for Table 2 (paper used 233)")
+	txns := flag.Int("txns", 300, "transactions for the size distribution")
+	flag.Parse()
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4"}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println("\n" + line() + "\n")
+		}
+		if err := runOne(id, *stores, *docs, *txns); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func line() string {
+	return "================================================================"
+}
+
+func runOne(id string, stores, docs, txns int) error {
+	w := os.Stdout
+	switch id {
+	case "f1":
+		exp.RunFigure1(w, stores)
+	case "t1":
+		_, err := exp.RunTable1(w)
+		return err
+	case "t2":
+		_, err := exp.RunTable2(w, docs, []int{1, 20})
+		return err
+	case "e1":
+		_, err := exp.RunOverheads(w)
+		return err
+	case "e2":
+		_, err := exp.RunTxnSizes(w, txns)
+		return err
+	case "f5":
+		_, err := exp.RunFigure5(w)
+		return err
+	case "a1":
+		_, err := exp.RunAtomicVsRMW(w, 8, 40)
+		return err
+	case "a2":
+		_, err := exp.RunVersionCache(w, 500)
+		return err
+	case "a3":
+		fmt.Fprintln(w, "Ablation A3: bunch size sweep (Table 2 corpus)")
+		fmt.Fprintln(w)
+		_, err := exp.RunTable2(w, docs, []int{1, 2, 5, 10, 20, 50})
+		return err
+	case "a4":
+		_, err := exp.RunSyncAblation(w, 8, 25)
+		return err
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package recordlayer is a from-scratch Go reproduction of the FoundationDB
+// Record Layer (Chrysafis et al., SIGMOD 2019): a record-oriented, massively
+// multi-tenant structured datastore built on an ordered transactional
+// key-value store.
+//
+// The implementation lives under internal/: the FoundationDB simulator
+// (internal/fdb), the tuple, subspace, directory and keyspace layers, a
+// dynamic protobuf (internal/message), schema management
+// (internal/metadata), key expressions (internal/keyexpr), index maintainers
+// (internal/index), the record store itself (internal/core), query planning
+// (internal/query, internal/plan), the CloudKit layer (internal/cloudkit)
+// and the Cassandra baseline (internal/cassandra).
+//
+// See README.md for a guided overview, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-versus-measured record of every table and
+// figure. The root bench_test.go regenerates each experiment as a Go
+// benchmark; cmd/experiments prints them in the paper's format.
+package recordlayer

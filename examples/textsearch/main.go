@@ -1,0 +1,133 @@
+// Text search example (Appendix B, §8.1): a transactional personalized text
+// index — token, prefix, phrase and proximity search with no separate search
+// system to operate, and results that always reflect the latest writes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recordlayer/internal/core"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+func main() {
+	note := message.MustDescriptor("Note",
+		message.Field("id", 1, message.TypeInt64),
+		message.Field("body", 2, message.TypeString),
+	)
+	md := metadata.NewBuilder(1).
+		AddRecordType(note, keyexpr.Field("id")).
+		AddIndex(&metadata.Index{Name: "body_text", Type: metadata.IndexText,
+			Expression: keyexpr.Field("body"),
+			Options:    map[string]string{"tokenizer": "whitespace", "bunch_size": "20"},
+		}, "Note").
+		MustBuild()
+
+	db := fdb.Open(nil)
+	space := subspace.FromTuple(tuple.Tuple{"textsearch"})
+
+	docs := []string{
+		"Call me Ishmael. Some years ago I thought I would sail about a little",
+		"The white whale swam before him as the monomaniac incarnation of all evil",
+		"Whenever I find myself growing grim about the mouth I account it high time to get to sea",
+		"It is not down on any map; true places never are",
+		"The whale, the white whale! Moby Dick had been sighted",
+	}
+	_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		store, err := core.Open(tr, md, space, core.OpenOptions{CreateIfMissing: true})
+		if err != nil {
+			return nil, err
+		}
+		for i, body := range docs {
+			rec := message.New(note).MustSet("id", int64(i)).MustSet("body", body)
+			if _, err := store.SaveRecord(rec); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+		store, err := core.Open(tr, md, space, core.OpenOptions{})
+		if err != nil {
+			return nil, err
+		}
+		show := func(label string, pks []tuple.Tuple) {
+			fmt.Printf("%s:\n", label)
+			for _, pk := range pks {
+				id := pk[0].(int64)
+				fmt.Printf("  [%d] %.60s...\n", id, docs[id])
+			}
+			fmt.Println()
+		}
+
+		// Exact token.
+		ps, err := store.TextSearchToken("body_text", "whale")
+		if err != nil {
+			return nil, err
+		}
+		var pks []tuple.Tuple
+		for _, p := range ps {
+			pks = append(pks, p.PrimaryKey)
+		}
+		show(`token "whale"`, dedup(pks))
+
+		// Prefix matching rides on key order with no extra overhead (§8.1).
+		ps, err = store.TextSearchPrefix("body_text", "wha")
+		if err != nil {
+			return nil, err
+		}
+		pks = nil
+		for _, p := range ps {
+			pks = append(pks, p.PrimaryKey)
+		}
+		show(`prefix "wha"`, dedup(pks))
+
+		// Phrase search via offset lists.
+		pks, err = store.TextSearchPhrase("body_text", "white whale")
+		if err != nil {
+			return nil, err
+		}
+		show(`phrase "white whale"`, pks)
+
+		// Proximity: both words within a 6-token window.
+		pks, err = store.TextSearchAll("body_text", []string{"sea", "time"}, 6)
+		if err != nil {
+			return nil, err
+		}
+		show(`"sea" within 6 tokens of "time"`, pks)
+
+		st, err := store.TextIndexStats("body_text")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("index storage: %d postings in %d kv pairs (mean bunch %.1f)\n",
+			st.LogicalEntries, st.PhysicalPairs, st.MeanBunchSize)
+		return nil, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dedup(pks []tuple.Tuple) []tuple.Tuple {
+	seen := map[string]bool{}
+	var out []tuple.Tuple
+	for _, pk := range pks {
+		k := string(pk.Pack())
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, pk)
+		}
+	}
+	return out
+}

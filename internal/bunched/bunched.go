@@ -1,0 +1,347 @@
+// Package bunched implements the bunched map of Appendix B: an ordered map
+// from (token, primary key) to an offset list, stored so that up to N
+// neighboring primary keys of the same token share one key-value entry.
+// Bunching amortizes the repeated key prefix across entries, the space
+// optimization quantified in Table 2.
+//
+// Physical layout: for each bunch the key is (prefix, token, firstPK) and
+// the value encodes [offsets(firstPK), pk2, offsets(pk2), ..., pkN,
+// offsets(pkN)] as a packed tuple.
+package bunched
+
+import (
+	"fmt"
+	"sort"
+
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// Entry is one logical (primaryKey, offsets) pair within a token's postings.
+type Entry struct {
+	PK      tuple.Tuple
+	Offsets []int64
+}
+
+// Map is a bunched map over a subspace.
+type Map struct {
+	space     subspace.Subspace
+	bunchSize int
+}
+
+// DefaultBunchSize is the default maximum entries per bunch (Table 2 uses 20).
+const DefaultBunchSize = 20
+
+// New creates a bunched map; bunchSize <= 0 selects the default.
+func New(space subspace.Subspace, bunchSize int) *Map {
+	if bunchSize <= 0 {
+		bunchSize = DefaultBunchSize
+	}
+	return &Map{space: space, bunchSize: bunchSize}
+}
+
+// BunchSize returns the configured maximum bunch size.
+func (m *Map) BunchSize() int { return m.bunchSize }
+
+func (m *Map) key(token string, pk tuple.Tuple) []byte {
+	return m.space.Pack(tuple.Tuple{token, pk})
+}
+
+// encodeBunch serializes entries[1:] after entries[0]'s offsets.
+func encodeBunch(entries []Entry) []byte {
+	t := make(tuple.Tuple, 0, len(entries)*2-1)
+	t = append(t, offsetsTuple(entries[0].Offsets))
+	for _, e := range entries[1:] {
+		t = append(t, e.PK, offsetsTuple(e.Offsets))
+	}
+	return t.Pack()
+}
+
+func offsetsTuple(offsets []int64) tuple.Tuple {
+	t := make(tuple.Tuple, len(offsets))
+	for i, o := range offsets {
+		t[i] = o
+	}
+	return t
+}
+
+func offsetsFromTuple(t tuple.Tuple) []int64 {
+	out := make([]int64, len(t))
+	for i, v := range t {
+		out[i] = v.(int64)
+	}
+	return out
+}
+
+// decodeBunch reconstructs the full entry list from a physical pair.
+func (m *Map) decodeBunch(key, value []byte) (token string, entries []Entry, err error) {
+	kt, err := m.space.Unpack(key)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(kt) != 2 {
+		return "", nil, fmt.Errorf("bunched: malformed key %x", key)
+	}
+	token = kt[0].(string)
+	firstPK := kt[1].(tuple.Tuple)
+	vt, err := tuple.Unpack(value)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(vt) == 0 || len(vt)%2 != 1 {
+		return "", nil, fmt.Errorf("bunched: malformed bunch value for %q", token)
+	}
+	entries = append(entries, Entry{PK: firstPK, Offsets: offsetsFromTuple(vt[0].(tuple.Tuple))})
+	for i := 1; i < len(vt); i += 2 {
+		entries = append(entries, Entry{
+			PK:      vt[i].(tuple.Tuple),
+			Offsets: offsetsFromTuple(vt[i+1].(tuple.Tuple)),
+		})
+	}
+	return token, entries, nil
+}
+
+// locate finds the physical bunch that would hold (token, pk): the biggest
+// physical key <= the logical key. Appendix B: "perform a range scan in
+// descending order ... the first key returned is guaranteed to contain the
+// data for t and pk" when present.
+func (m *Map) locate(tr *fdb.Transaction, token string, pk tuple.Tuple) (physKey []byte, entries []Entry, ok bool, err error) {
+	begin, _ := m.space.RangeForTuple(tuple.Tuple{token})
+	end := fdb.KeyAfter(m.key(token, pk))
+	kvs, _, err := tr.GetRange(begin, end, fdb.RangeOptions{Limit: 1, Reverse: true})
+	if err != nil || len(kvs) == 0 {
+		return nil, nil, false, err
+	}
+	_, entries, err = m.decodeBunch(kvs[0].Key, kvs[0].Value)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return kvs[0].Key, entries, true, nil
+}
+
+// neighbor returns the physical bunch immediately after the logical key
+// within the same token, if any.
+func (m *Map) neighbor(tr *fdb.Transaction, token string, pk tuple.Tuple) (physKey []byte, entries []Entry, ok bool, err error) {
+	begin := fdb.KeyAfter(m.key(token, pk))
+	_, end := m.space.RangeForTuple(tuple.Tuple{token})
+	kvs, _, err := tr.GetRange(begin, end, fdb.RangeOptions{Limit: 1})
+	if err != nil || len(kvs) == 0 {
+		return nil, nil, false, err
+	}
+	_, entries, err = m.decodeBunch(kvs[0].Key, kvs[0].Value)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return kvs[0].Key, entries, true, nil
+}
+
+func pkCompare(a, b tuple.Tuple) int { return tuple.Compare(a, b) }
+
+// Insert adds or replaces the offsets for (token, pk). Appendix B: inserting
+// reads at most two key-value pairs and writes at most two.
+func (m *Map) Insert(tr *fdb.Transaction, token string, pk tuple.Tuple, offsets []int64) error {
+	newEntry := Entry{PK: pk, Offsets: offsets}
+	physKey, entries, found, err := m.locate(tr, token, pk)
+	if err != nil {
+		return err
+	}
+	if found {
+		// Upsert into this bunch, keeping entries sorted by primary key.
+		idx := sort.Search(len(entries), func(i int) bool { return pkCompare(entries[i].PK, pk) >= 0 })
+		if idx < len(entries) && pkCompare(entries[idx].PK, pk) == 0 {
+			entries[idx] = newEntry
+			return tr.Set(physKey, encodeBunch(entries))
+		}
+		entries = append(entries, Entry{})
+		copy(entries[idx+1:], entries[idx:])
+		entries[idx] = newEntry
+		if len(entries) <= m.bunchSize {
+			return tr.Set(physKey, encodeBunch(entries))
+		}
+		// Overflow: evict the biggest primary key into a new physical entry,
+		// then merge the neighbor bunch into it if the result still fits.
+		spill := entries[len(entries)-1]
+		entries = entries[:len(entries)-1]
+		if err := tr.Set(physKey, encodeBunch(entries)); err != nil {
+			return err
+		}
+		return m.insertSpill(tr, token, spill)
+	}
+	// No bunch at or before the key: this becomes the token's first bunch;
+	// absorb the following bunch when it fits.
+	return m.insertSpill(tr, token, newEntry)
+}
+
+// insertSpill writes entry as a new physical bunch, merging the immediately
+// following bunch into it when the combination stays within the bunch size.
+func (m *Map) insertSpill(tr *fdb.Transaction, token string, entry Entry) error {
+	nKey, nEntries, ok, err := m.neighbor(tr, token, entry.PK)
+	if err != nil {
+		return err
+	}
+	bunch := []Entry{entry}
+	if ok && len(nEntries)+1 <= m.bunchSize {
+		if err := tr.Clear(nKey); err != nil {
+			return err
+		}
+		bunch = append(bunch, nEntries...)
+	}
+	return tr.Set(m.key(token, entry.PK), encodeBunch(bunch))
+}
+
+// Get returns the offsets for (token, pk).
+func (m *Map) Get(tr *fdb.Transaction, token string, pk tuple.Tuple) ([]int64, bool, error) {
+	_, entries, found, err := m.locate(tr, token, pk)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	for _, e := range entries {
+		if pkCompare(e.PK, pk) == 0 {
+			return e.Offsets, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Delete removes (token, pk); reading and writing a single pair (App. B).
+func (m *Map) Delete(tr *fdb.Transaction, token string, pk tuple.Tuple) (bool, error) {
+	physKey, entries, found, err := m.locate(tr, token, pk)
+	if err != nil || !found {
+		return false, err
+	}
+	idx := -1
+	for i, e := range entries {
+		if pkCompare(e.PK, pk) == 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, nil
+	}
+	if len(entries) == 1 {
+		return true, tr.Clear(physKey)
+	}
+	entries = append(entries[:idx], entries[idx+1:]...)
+	if idx == 0 {
+		// The bunch's key carried this primary key: re-anchor the bunch at
+		// the next primary key.
+		if err := tr.Clear(physKey); err != nil {
+			return false, err
+		}
+		return true, tr.Set(m.key(token, entries[0].PK), encodeBunch(entries))
+	}
+	return true, tr.Set(physKey, encodeBunch(entries))
+}
+
+// ScanToken returns every entry for a token in primary-key order.
+func (m *Map) ScanToken(tr *fdb.Transaction, token string) ([]Entry, error) {
+	begin, end := m.space.RangeForTuple(tuple.Tuple{token})
+	kvs, _, err := tr.GetRange(begin, end, fdb.RangeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, kv := range kvs {
+		_, entries, err := m.decodeBunch(kv.Key, kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+	}
+	return out, nil
+}
+
+// TokenEntries pairs a token with its postings.
+type TokenEntries struct {
+	Token   string
+	Entries []Entry
+}
+
+// ScanPrefix returns, grouped by token, every entry whose token begins with
+// the given prefix (prefix matching rides on key order, §8.1).
+func (m *Map) ScanPrefix(tr *fdb.Transaction, prefix string) ([]TokenEntries, error) {
+	// Drop the tuple string terminator so the range covers every token that
+	// extends the prefix, not just the exact token.
+	packed := m.space.Pack(tuple.Tuple{prefix})
+	begin := packed[:len(packed)-1]
+	endPrefix, err := tuple.Strinc(begin)
+	if err != nil {
+		return nil, err
+	}
+	kvs, _, err := tr.GetRange(begin, endPrefix, fdb.RangeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var out []TokenEntries
+	for _, kv := range kvs {
+		token, entries, err := m.decodeBunch(kv.Key, kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) == 0 || out[len(out)-1].Token != token {
+			out = append(out, TokenEntries{Token: token})
+		}
+		out[len(out)-1].Entries = append(out[len(out)-1].Entries, entries...)
+	}
+	return out, nil
+}
+
+// Compact rewrites a token's postings into maximally filled bunches. The
+// paper notes deletes do not merge small bunches, but "the client can
+// request compactions".
+func (m *Map) Compact(tr *fdb.Transaction, token string) error {
+	entries, err := m.ScanToken(tr, token)
+	if err != nil {
+		return err
+	}
+	begin, end := m.space.RangeForTuple(tuple.Tuple{token})
+	if err := tr.ClearRange(begin, end); err != nil {
+		return err
+	}
+	for i := 0; i < len(entries); i += m.bunchSize {
+		j := i + m.bunchSize
+		if j > len(entries) {
+			j = len(entries)
+		}
+		bunch := entries[i:j]
+		if err := tr.Set(m.key(token, bunch[0].PK), encodeBunch(bunch)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes physical storage for space accounting (Table 2).
+type Stats struct {
+	LogicalEntries int     // (token, pk) pairs
+	PhysicalPairs  int     // key-value entries
+	KeyBytes       int     // total key bytes
+	ValueBytes     int     // total value bytes
+	MeanBunchSize  float64 // logical entries per physical pair
+}
+
+// ComputeStats scans the whole map and reports storage statistics.
+func (m *Map) ComputeStats(tr *fdb.Transaction) (Stats, error) {
+	begin, end := m.space.Range()
+	kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{})
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	for _, kv := range kvs {
+		_, entries, err := m.decodeBunch(kv.Key, kv.Value)
+		if err != nil {
+			return Stats{}, err
+		}
+		s.PhysicalPairs++
+		s.LogicalEntries += len(entries)
+		s.KeyBytes += len(kv.Key)
+		s.ValueBytes += len(kv.Value)
+	}
+	if s.PhysicalPairs > 0 {
+		s.MeanBunchSize = float64(s.LogicalEntries) / float64(s.PhysicalPairs)
+	}
+	return s, nil
+}

@@ -1,0 +1,272 @@
+// Package cassandra simulates the storage architecture CloudKit used before
+// the Record Layer (§8.1, Table 1): a Cassandra-style partitioned store
+// where all updates to a zone serialize through compare-and-set lightweight
+// transactions on a per-zone update counter, partitions have a size ceiling,
+// and secondary indexes live in a separate Solr-style system updated
+// asynchronously with eventual consistency.
+//
+// The simulator reproduces the two scalability limitations the paper calls
+// out — no concurrency within a zone, and zone size bounded by the partition
+// — plus the stale reads eventually-consistent indexes expose, providing the
+// baseline side of the Table 1 comparison and the concurrency benchmarks.
+package cassandra
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Row is one record in a zone.
+type Row struct {
+	Name   string
+	Fields map[string]string
+	// Seq is the zone update-counter value that wrote this row version;
+	// the legacy sync index is a scan of rows ordered by Seq.
+	Seq int64
+}
+
+func (r Row) size() int {
+	n := len(r.Name)
+	for k, v := range r.Fields {
+		n += len(k) + len(v)
+	}
+	return n
+}
+
+type partition struct {
+	counter int64
+	rows    map[string]Row
+	bytes   int
+}
+
+// CASError reports a lightweight-transaction failure: the zone's update
+// counter moved since the client read it. The client must re-read and retry
+// — the zone-level serialization of §8.1.
+type CASError struct {
+	Zone     string
+	Expected int64
+	Actual   int64
+}
+
+func (e *CASError) Error() string {
+	return fmt.Sprintf("cassandra: CAS failed on zone %q: expected counter %d, found %d",
+		e.Zone, e.Expected, e.Actual)
+}
+
+// PartitionFullError reports that a batch would exceed the partition size
+// ceiling (Table 1: zone size limited by Cassandra partition size).
+type PartitionFullError struct {
+	Zone  string
+	Bytes int
+	Limit int
+}
+
+func (e *PartitionFullError) Error() string {
+	return fmt.Sprintf("cassandra: partition %q full: %d bytes exceeds %d", e.Zone, e.Bytes, e.Limit)
+}
+
+// Cluster is a simulated Cassandra cluster plus its Solr indexing sidecar.
+type Cluster struct {
+	mu         sync.Mutex
+	partitions map[string]*partition
+	limitBytes int
+	solr       *Solr
+
+	casFailures int64
+	writes      int64
+}
+
+// Options configures the cluster.
+type Options struct {
+	// PartitionLimitBytes caps each zone; 0 means 16 kB (scaled-down stand-in
+	// for Cassandra's practical GB-scale partition ceiling).
+	PartitionLimitBytes int
+}
+
+// NewCluster creates an empty simulated cluster.
+func NewCluster(opts *Options) *Cluster {
+	limit := 16 * 1024
+	if opts != nil && opts.PartitionLimitBytes > 0 {
+		limit = opts.PartitionLimitBytes
+	}
+	return &Cluster{
+		partitions: make(map[string]*partition),
+		limitBytes: limit,
+		solr:       NewSolr(),
+	}
+}
+
+// Solr returns the attached eventually-consistent index.
+func (c *Cluster) Solr() *Solr { return c.solr }
+
+// ZoneCounter reads a zone's current update counter (the CAS token).
+func (c *Cluster) ZoneCounter(zone string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.partitions[zone]; ok {
+		return p.counter
+	}
+	return 0
+}
+
+// SaveBatch atomically applies a multi-record batch to one zone using a
+// lightweight transaction: it succeeds only if the zone's update counter
+// still equals expected (§8.1). On success the counter advances by one and
+// every row is indexed asynchronously in Solr.
+func (c *Cluster) SaveBatch(zone string, expected int64, rows []Row) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.partitions[zone]
+	if !ok {
+		p = &partition{rows: make(map[string]Row)}
+		c.partitions[zone] = p
+	}
+	if p.counter != expected {
+		c.casFailures++
+		return 0, &CASError{Zone: zone, Expected: expected, Actual: p.counter}
+	}
+	added := 0
+	for _, r := range rows {
+		old, had := p.rows[r.Name]
+		if had {
+			added -= old.size()
+		}
+		added += r.size()
+	}
+	if p.bytes+added > c.limitBytes {
+		return 0, &PartitionFullError{Zone: zone, Bytes: p.bytes + added, Limit: c.limitBytes}
+	}
+	p.counter++
+	for _, r := range rows {
+		r.Seq = p.counter
+		p.rows[r.Name] = r
+		c.solr.enqueue(zone, r)
+	}
+	p.bytes += added
+	c.writes++
+	return p.counter, nil
+}
+
+// Get reads a row.
+func (c *Cluster) Get(zone, name string) (Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.partitions[zone]
+	if !ok {
+		return Row{}, false
+	}
+	r, ok := p.rows[name]
+	return r, ok
+}
+
+// SyncZone returns rows changed after the given counter value, in counter
+// order — the legacy sync index of §8.1.
+func (c *Cluster) SyncZone(zone string, since int64) []Row {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.partitions[zone]
+	if !ok {
+		return nil
+	}
+	var out []Row
+	for _, r := range p.rows {
+		if r.Seq > since {
+			out = append(out, r)
+		}
+	}
+	sortRows(out)
+	return out
+}
+
+func sortRows(rows []Row) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && (rows[j-1].Seq > rows[j].Seq ||
+			(rows[j-1].Seq == rows[j].Seq && rows[j-1].Name > rows[j].Name)); j-- {
+			rows[j-1], rows[j] = rows[j], rows[j-1]
+		}
+	}
+}
+
+// Stats reports CAS failures and successful writes for the concurrency
+// benchmarks.
+func (c *Cluster) Stats() (writes, casFailures int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes, c.casFailures
+}
+
+// Solr is the asynchronous secondary indexer: updates become visible only
+// after a flush, so queries in between return stale results — the "perceived
+// inconsistencies" application designers had to work around (§8.1).
+type Solr struct {
+	mu      sync.Mutex
+	visible map[string]map[string]map[string]bool // field=value -> zone/name set
+	pending []pendingDoc
+}
+
+type pendingDoc struct {
+	zone string
+	row  Row
+}
+
+// NewSolr creates an empty index.
+func NewSolr() *Solr {
+	return &Solr{visible: make(map[string]map[string]map[string]bool)}
+}
+
+func (s *Solr) enqueue(zone string, r Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, pendingDoc{zone: zone, row: r})
+}
+
+// PendingCount reports how many updates await indexing.
+func (s *Solr) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Flush applies pending updates, making them queryable (the asynchronous
+// index update catching up).
+func (s *Solr) Flush() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pending)
+	for _, d := range s.pending {
+		for f, v := range d.row.Fields {
+			key := f + "=" + v
+			if s.visible[key] == nil {
+				s.visible[key] = make(map[string]map[string]bool)
+			}
+			if s.visible[key][d.zone] == nil {
+				s.visible[key][d.zone] = make(map[string]bool)
+			}
+			s.visible[key][d.zone][d.row.Name] = true
+		}
+	}
+	s.pending = nil
+	return n
+}
+
+// Query returns record names in a zone whose field matched value as of the
+// last flush — an eventually-consistent read.
+func (s *Solr) Query(zone, field, value string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.visible[field+"="+value][zone]
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

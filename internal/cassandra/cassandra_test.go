@@ -1,0 +1,159 @@
+package cassandra
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func row(name, title string) Row {
+	return Row{Name: name, Fields: map[string]string{"title": title}}
+}
+
+func TestSaveAndGet(t *testing.T) {
+	c := NewCluster(nil)
+	counter, err := c.SaveBatch("z", 0, []Row{row("a", "t1"), row("b", "t2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 {
+		t.Fatalf("counter: %d", counter)
+	}
+	r, ok := c.Get("z", "a")
+	if !ok || r.Fields["title"] != "t1" {
+		t.Fatalf("get: %+v %v", r, ok)
+	}
+}
+
+func TestCASSerializesZone(t *testing.T) {
+	c := NewCluster(nil)
+	// Two clients read the same counter; only one batch commits.
+	base := c.ZoneCounter("z")
+	if _, err := c.SaveBatch("z", base, []Row{row("a", "1")}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.SaveBatch("z", base, []Row{row("b", "2")})
+	if _, ok := err.(*CASError); !ok {
+		t.Fatalf("expected CAS failure, got %v", err)
+	}
+	// After re-reading, the retry succeeds.
+	if _, err := c.SaveBatch("z", c.ZoneCounter("z"), []Row{row("b", "2")}); err != nil {
+		t.Fatal(err)
+	}
+	_, fails := c.Stats()
+	if fails != 1 {
+		t.Fatalf("cas failures: %d", fails)
+	}
+}
+
+func TestDifferentZonesDoNotConflict(t *testing.T) {
+	c := NewCluster(nil)
+	if _, err := c.SaveBatch("z1", 0, []Row{row("a", "1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SaveBatch("z2", 0, []Row{row("b", "2")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSizeLimit(t *testing.T) {
+	c := NewCluster(&Options{PartitionLimitBytes: 100})
+	big := Row{Name: "big", Fields: map[string]string{"body": string(make([]byte, 200))}}
+	if _, err := c.SaveBatch("z", 0, []Row{big}); err == nil {
+		t.Fatal("oversized partition accepted")
+	} else if _, ok := err.(*PartitionFullError); !ok {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// Small rows fit until the ceiling.
+	counter := int64(0)
+	var err error
+	n := 0
+	for {
+		counter, err = c.SaveBatch("z", counter, []Row{row(fmt.Sprintf("r%d", n), "0123456789")})
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if _, ok := err.(*PartitionFullError); !ok {
+		t.Fatalf("expected partition-full, got %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no rows fit")
+	}
+}
+
+func TestSyncZoneByCounter(t *testing.T) {
+	c := NewCluster(nil)
+	counter := int64(0)
+	var err error
+	for i := 0; i < 4; i++ {
+		counter, err = c.SaveBatch("z", counter, []Row{row(fmt.Sprintf("r%d", i), "t")})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := c.SyncZone("z", 0)
+	if len(all) != 4 || all[0].Name != "r0" || all[3].Name != "r3" {
+		t.Fatalf("sync all: %+v", all)
+	}
+	tail := c.SyncZone("z", 2)
+	if len(tail) != 2 || tail[0].Name != "r2" {
+		t.Fatalf("sync since 2: %+v", tail)
+	}
+}
+
+func TestSolrEventualConsistency(t *testing.T) {
+	c := NewCluster(nil)
+	if _, err := c.SaveBatch("z", 0, []Row{row("a", "findme")}); err != nil {
+		t.Fatal(err)
+	}
+	// Before the asynchronous index catches up, the query misses the row —
+	// the eventual consistency of Table 1.
+	if got := c.Solr().Query("z", "title", "findme"); len(got) != 0 {
+		t.Fatalf("stale query returned %v", got)
+	}
+	if n := c.Solr().PendingCount(); n != 1 {
+		t.Fatalf("pending: %d", n)
+	}
+	c.Solr().Flush()
+	if got := c.Solr().Query("z", "title", "findme"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("post-flush query: %v", got)
+	}
+}
+
+func TestConcurrentCASContention(t *testing.T) {
+	c := NewCluster(&Options{PartitionLimitBytes: 1 << 20})
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for {
+					counter := c.ZoneCounter("hot")
+					_, err := c.SaveBatch("hot", counter, []Row{row(fmt.Sprintf("w%d-%d", w, i), "t")})
+					if err == nil {
+						break
+					}
+					if _, ok := err.(*CASError); !ok {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	writes, fails := c.Stats()
+	if writes != workers*10 {
+		t.Fatalf("writes: %d", writes)
+	}
+	// Under contention the CAS loop must have failed at least sometimes.
+	t.Logf("cas failures under contention: %d", fails)
+	if len(c.SyncZone("hot", 0)) != workers*10 {
+		t.Fatal("lost rows")
+	}
+}

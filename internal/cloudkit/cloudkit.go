@@ -1,0 +1,286 @@
+// Package cloudkit reproduces the CloudKit layer of §8: a multi-tenant
+// structured-storage service built on the Record Layer. A container
+// (application) is defined by a schema; every (user, container) pair gets an
+// independent record store located through the KeySpace API, so the service
+// maintains (#users × #applications) logical databases. Zones group records
+// for selective sync; the zone name prefixes every primary key for efficient
+// per-zone access.
+//
+// Sync (§8.1) rides on a VERSION index over (incarnation, version): the
+// incarnation — a per-user count of cross-cluster moves — keeps change order
+// intact when users move between clusters whose commit versions are
+// uncorrelated. Records written by the legacy Cassandra-era method carry a
+// per-zone update counter instead; a function key expression maps them to
+// (0, counter), sorting all legacy changes before all new-method changes
+// with no business logic in the sync path.
+package cloudkit
+
+import (
+	"fmt"
+
+	"recordlayer/internal/core"
+	"recordlayer/internal/directory"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// System field numbers added to every record type by the schema translation
+// (§8: "the metadata also includes attributes added by CloudKit").
+const (
+	fieldZone          = 100
+	fieldRecordName    = 101
+	fieldIncarnation   = 102
+	fieldUpdateCounter = 103
+	fieldSize          = 104
+)
+
+// System index names.
+const (
+	SyncIndexName  = "ck_sync"
+	QuotaIndexName = "ck_size_by_type"
+	CountIndexName = "ck_count_by_zone"
+)
+
+// SyncKeyFunction is the registered function key expression implementing the
+// §8.1 migration: (0, update_counter) for legacy records, otherwise
+// (incarnation, commit version).
+const SyncKeyFunction = "cloudkit_sync_key"
+
+func init() {
+	keyexpr.RegisterFunction(SyncKeyFunction, 2, func(ctx *keyexpr.Context) ([]tuple.Tuple, error) {
+		if v, ok := ctx.Message.Get("ck_update_counter"); ok {
+			return []tuple.Tuple{{int64(0), v.(int64)}}, nil
+		}
+		var inc int64
+		if v, ok := ctx.Message.Get("ck_incarnation"); ok {
+			inc = v.(int64)
+		}
+		if ctx.HasVersion {
+			return []tuple.Tuple{{inc, ctx.Version}}, nil
+		}
+		return []tuple.Tuple{{inc, tuple.IncompleteVersionstamp(ctx.PendingUserVersion)}}, nil
+	})
+}
+
+// RecordTypeDef is an application-defined record type: user fields only;
+// system fields are added by the translation. Field numbers must be < 100.
+type RecordTypeDef struct {
+	Name   string
+	Fields []*message.FieldDescriptor
+}
+
+// ContainerSchema defines an application.
+type ContainerSchema struct {
+	Name    string
+	Version int
+	Types   []RecordTypeDef
+	// Indexes are user-defined secondary indexes over user fields; with the
+	// Record Layer they are maintained transactionally (§8.1, Table 1).
+	Indexes []*metadata.Index
+}
+
+// Container is a defined application.
+type Container struct {
+	Name     string
+	MetaData *metadata.MetaData
+}
+
+// Service is the CloudKit backend: stateless, holding only immutable schema
+// translations and the key-space layout (§3.1).
+type Service struct {
+	layer *directory.Layer
+	ks    *keyspace.KeySpace
+}
+
+// NewService builds a service rooted at the conventional CloudKit keyspace:
+// /cloudkit/user:<id>/application:<name interned>/.
+func NewService(seed int64) (*Service, error) {
+	layer := directory.NewLayerAt(subspace.FromBytes([]byte{0xFE}), subspace.FromBytes(nil), seed)
+	ks, err := keyspace.New(layer,
+		keyspace.NewConstant("cloudkit", "ck").Add(
+			keyspace.NewDirectory("user", keyspace.TypeInt64).Add(
+				keyspace.NewInterned("application"),
+			),
+		),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{layer: layer, ks: ks}, nil
+}
+
+// DefineContainer translates an application schema into Record Layer
+// metadata: system fields, the (zone, recordName) primary key, the sync
+// VERSION index, and the quota and per-zone statistics indexes (§8).
+func (s *Service) DefineContainer(schema ContainerSchema) (*Container, error) {
+	if schema.Version <= 0 {
+		schema.Version = 1
+	}
+	b := metadata.NewBuilder(schema.Version)
+	typeNames := make([]string, 0, len(schema.Types))
+	for _, t := range schema.Types {
+		fields := make([]*message.FieldDescriptor, 0, len(t.Fields)+5)
+		for _, f := range t.Fields {
+			if f.Number >= fieldZone {
+				return nil, fmt.Errorf("cloudkit: field numbers >= %d are reserved (type %s field %s)",
+					fieldZone, t.Name, f.Name)
+			}
+			fields = append(fields, f)
+		}
+		fields = append(fields,
+			message.Field("ck_zone", fieldZone, message.TypeString),
+			message.Field("ck_record_name", fieldRecordName, message.TypeString),
+			message.Field("ck_incarnation", fieldIncarnation, message.TypeInt64),
+			message.Field("ck_update_counter", fieldUpdateCounter, message.TypeInt64),
+			message.Field("ck_size", fieldSize, message.TypeInt64),
+		)
+		d, err := message.NewDescriptor(t.Name, fields...)
+		if err != nil {
+			return nil, err
+		}
+		// Zone prefixes the primary key for efficient per-zone access (§8).
+		b.AddRecordType(d, keyexpr.Then(
+			keyexpr.Field("ck_zone"),
+			keyexpr.RecordType(),
+			keyexpr.Field("ck_record_name"),
+		))
+		typeNames = append(typeNames, t.Name)
+	}
+	// The sync index: zone, then (incarnation|legacy-counter, version).
+	b.AddIndex(&metadata.Index{
+		Name: SyncIndexName, Type: metadata.IndexVersion,
+		Expression: keyexpr.Then(keyexpr.Field("ck_zone"), keyexpr.MustFunction(SyncKeyFunction)),
+	})
+	// Quota: total record size by record type (§8's system index).
+	b.AddIndex(&metadata.Index{
+		Name: QuotaIndexName, Type: metadata.IndexSum,
+		Expression: keyexpr.GroupBy(keyexpr.Field("ck_size"), keyexpr.RecordType()),
+	})
+	// Per-zone record counts.
+	b.AddIndex(&metadata.Index{
+		Name: CountIndexName, Type: metadata.IndexCount,
+		Expression: keyexpr.GroupBy(keyexpr.Empty(), keyexpr.Field("ck_zone")),
+	})
+	for _, ix := range schema.Indexes {
+		b.AddIndex(ix, ix.RecordTypes...)
+	}
+	md, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Container{Name: schema.Name, MetaData: md}, nil
+}
+
+// UserStore opens the record store for one user of one application. Each
+// store encapsulates all of the user's data for that application, which is
+// what makes rebalancing by moving stores practical (§9).
+func (s *Service) UserStore(tr *fdb.Transaction, ct *Container, userID int64) (*core.Store, error) {
+	sp, err := s.StoreSubspace(tr, ct, userID)
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(tr, ct.MetaData, sp, core.OpenOptions{CreateIfMissing: true})
+}
+
+// StoreSubspace resolves the user's store location via the KeySpace API.
+func (s *Service) StoreSubspace(tr *fdb.Transaction, ct *Container, userID int64) (subspace.Subspace, error) {
+	path := s.ks.MustPath("cloudkit").MustAdd("user", userID).MustAdd("application", ct.Name)
+	return path.ToSubspace(tr)
+}
+
+// Record is a CloudKit-style record: zone, name, and user fields.
+type Record struct {
+	Zone   string
+	Name   string
+	Fields map[string]interface{}
+}
+
+// SaveRecord writes a record through the Record Layer, populating system
+// fields: zone, record name, the user's current incarnation, and the record
+// size used by the quota index.
+func (s *Service) SaveRecord(store *core.Store, typeName string, rec Record) (*core.StoredRecord, error) {
+	rt, ok := store.MetaData().RecordType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("cloudkit: container has no record type %q", typeName)
+	}
+	msg := message.New(rt.Descriptor)
+	for name, v := range rec.Fields {
+		if err := msg.Set(name, v); err != nil {
+			return nil, err
+		}
+	}
+	msg.MustSet("ck_zone", rec.Zone)
+	msg.MustSet("ck_record_name", rec.Name)
+	msg.MustSet("ck_incarnation", int64(store.Header().UserVersion))
+	data, err := msg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	msg.MustSet("ck_size", int64(len(data)))
+	return store.SaveRecord(msg)
+}
+
+// SaveRecordLegacy writes a record the Cassandra-era way (§8.1): all updates
+// to the zone serialize through a per-zone update counter, and the sync key
+// becomes (0, counter).
+func (s *Service) SaveRecordLegacy(store *core.Store, tr *fdb.Transaction, typeName string, rec Record) (*core.StoredRecord, error) {
+	counterKey := store.Subspace().Pack(tuple.Tuple{int64(9), "zone_counter", rec.Zone})
+	raw, err := tr.Get(counterKey) // serializable read: zone-level CAS conflicts
+	if err != nil {
+		return nil, err
+	}
+	var counter int64
+	if raw != nil {
+		t, err := tuple.Unpack(raw)
+		if err != nil {
+			return nil, err
+		}
+		counter = t[0].(int64)
+	}
+	counter++
+	if err := tr.Set(counterKey, tuple.Tuple{counter}.Pack()); err != nil {
+		return nil, err
+	}
+	rt, ok := store.MetaData().RecordType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("cloudkit: container has no record type %q", typeName)
+	}
+	msg := message.New(rt.Descriptor)
+	for name, v := range rec.Fields {
+		if err := msg.Set(name, v); err != nil {
+			return nil, err
+		}
+	}
+	msg.MustSet("ck_zone", rec.Zone)
+	msg.MustSet("ck_record_name", rec.Name)
+	msg.MustSet("ck_update_counter", counter)
+	data, err := msg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	msg.MustSet("ck_size", int64(len(data)))
+	return store.SaveRecord(msg)
+}
+
+// DeleteRecord removes a record.
+func (s *Service) DeleteRecord(store *core.Store, typeName string, zone, name string) (bool, error) {
+	rt, ok := store.MetaData().RecordType(typeName)
+	if !ok {
+		return false, fmt.Errorf("cloudkit: container has no record type %q", typeName)
+	}
+	return store.DeleteRecord(tuple.Tuple{zone, rt.TypeKey(), name})
+}
+
+// LoadRecord reads a record by zone and name.
+func (s *Service) LoadRecord(store *core.Store, typeName, zone, name string) (*core.StoredRecord, error) {
+	rt, ok := store.MetaData().RecordType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("cloudkit: container has no record type %q", typeName)
+	}
+	return store.LoadRecordByKey(tuple.Tuple{zone, rt.TypeKey(), name})
+}

@@ -1,0 +1,15 @@
+package cloudkit
+
+import (
+	"recordlayer/internal/index"
+	"recordlayer/internal/tuple"
+)
+
+func indexRangeFor(title string) index.TupleRange {
+	return index.TupleRange{
+		Low: tuple.Tuple{title}, LowInclusive: true,
+		High: tuple.Tuple{title}, HighInclusive: true,
+	}
+}
+
+func indexScanOpts() index.ScanOptions { return index.ScanOptions{} }

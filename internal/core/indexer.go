@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// OnlineIndexer builds or rebuilds an index in the background (§6): the
+// index starts write-only (maintained by concurrent writes but not
+// readable), the builder scans the records in batches across multiple
+// transactions — bounding conflicts and transaction size — and the index
+// becomes readable when the scan completes. Progress persists in the store,
+// so a crashed build resumes where it stopped.
+//
+// Online building requires an idempotent index type (VALUE, VERSION, RANK,
+// TEXT): a record saved concurrently during the build may be processed both
+// by its own write and by the builder. Atomic aggregate indexes are not
+// idempotent; rebuild those with Store.RebuildIndexInline.
+type OnlineIndexer struct {
+	DB        *fdb.Database
+	MetaData  *metadata.MetaData
+	Space     subspace.Subspace
+	IndexName string
+	// BatchSize is the number of records indexed per transaction (default 64).
+	BatchSize int
+	Config    Config
+}
+
+func idempotentType(t metadata.IndexType) bool {
+	switch t {
+	case metadata.IndexValue, metadata.IndexVersion, metadata.IndexRank, metadata.IndexText:
+		return true
+	}
+	return false
+}
+
+// Build runs the full build: write-only transition, batched scan, readable
+// transition. It returns the number of records indexed.
+func (o *OnlineIndexer) Build() (int, error) {
+	ix, ok := o.MetaData.Index(o.IndexName)
+	if !ok {
+		return 0, fmt.Errorf("core: no index %q", o.IndexName)
+	}
+	if !idempotentType(ix.Type) {
+		return 0, fmt.Errorf("core: index %q has non-idempotent type %s; use RebuildIndexInline", ix.Name, ix.Type)
+	}
+	batch := o.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	// Phase 1: clear any stale data and enter write-only (§6).
+	_, err := o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		s, err := Open(tr, o.MetaData, o.Space, OpenOptions{Config: o.Config})
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.IndexState(o.IndexName)
+		if err != nil {
+			return nil, err
+		}
+		if st != metadata.StateWriteOnly {
+			if err := s.clearIndexData(o.IndexName); err != nil {
+				return nil, err
+			}
+			if err := s.MarkIndexWriteOnly(o.IndexName); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Phase 2: batched scan, one transaction per batch.
+	total := 0
+	for {
+		n, done, err := o.buildBatch(batch)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		if done {
+			break
+		}
+	}
+
+	// Phase 3: mark readable and clear progress.
+	_, err = o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		s, err := Open(tr, o.MetaData, o.Space, OpenOptions{Config: o.Config})
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Clear(s.space.Pack(tuple.Tuple{progressSub, o.IndexName})); err != nil {
+			return nil, err
+		}
+		return nil, s.MarkIndexReadable(o.IndexName)
+	})
+	return total, err
+}
+
+// buildBatch indexes up to batch records, resuming from stored progress.
+func (o *OnlineIndexer) buildBatch(batch int) (int, bool, error) {
+	v, err := o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		s, err := Open(tr, o.MetaData, o.Space, OpenOptions{Config: o.Config})
+		if err != nil {
+			return nil, err
+		}
+		ix, _ := s.md.Index(o.IndexName)
+		m, err := s.maintainer(ix)
+		if err != nil {
+			return nil, err
+		}
+		ictx := s.indexContext(ix)
+		progressKey := s.space.Pack(tuple.Tuple{progressSub, o.IndexName})
+		cont, err := tr.Get(progressKey)
+		if err != nil {
+			return nil, err
+		}
+		scan := s.ScanRecords(ScanOptions{Continuation: cont})
+		n := 0
+		var lastCont []byte
+		for n < batch {
+			r, err := scan.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !r.OK {
+				if r.Reason != cursor.SourceExhausted {
+					return nil, fmt.Errorf("core: index build scan halted: %v", r.Reason)
+				}
+				return [2]int{n, 1}, nil
+			}
+			if ix.AppliesTo(r.Value.Type.Name) {
+				if err := m.Update(ictx, nil, r.Value.asIndexRecord()); err != nil {
+					return nil, err
+				}
+			}
+			lastCont = r.Continuation
+			n++
+		}
+		if err := tr.Set(progressKey, lastCont); err != nil {
+			return nil, err
+		}
+		return [2]int{n, 0}, nil
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	res := v.([2]int)
+	return res[0], res[1] == 1, nil
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/index"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/kvcursor"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/tuple"
+)
+
+// StoredRecord is a record as stored: the message plus its identity and the
+// commit version of its last modification (§4).
+type StoredRecord struct {
+	Type       *metadata.RecordType
+	Message    *message.Message
+	PrimaryKey tuple.Tuple
+	Version    tuple.Versionstamp
+	HasVersion bool
+	// Size is the stored (post-serializer) byte size; SplitChunks how many
+	// pairs hold the record data.
+	Size        int
+	SplitChunks int
+
+	// pendingUserVersion is the per-transaction counter value assigned to a
+	// newly saved record, shared by its version slot and index entries (§7).
+	pendingUserVersion uint16
+}
+
+// asIndexRecord adapts to the maintainer's view.
+func (r *StoredRecord) asIndexRecord() *index.Record {
+	if r == nil {
+		return nil
+	}
+	return &index.Record{
+		Type:               r.Type,
+		Message:            r.Message,
+		PrimaryKey:         r.PrimaryKey,
+		Version:            r.Version,
+		HasVersion:         r.HasVersion,
+		PendingUserVersion: r.pendingUserVersion,
+	}
+}
+
+// PrimaryKeyFor evaluates a record's primary key expression; the expression
+// must produce exactly one tuple.
+func (s *Store) PrimaryKeyFor(msg *message.Message) (*metadata.RecordType, tuple.Tuple, error) {
+	rt, ok := s.md.RecordType(msg.Descriptor().Name)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown record type %q", msg.Descriptor().Name)
+	}
+	ctx := &keyexpr.Context{Message: msg, RecordTypeKey: rt.TypeKey()}
+	pks, err := rt.PrimaryKey.Evaluate(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pks) != 1 {
+		return nil, nil, fmt.Errorf("core: primary key of %q produced %d tuples, need exactly 1", rt.Name, len(pks))
+	}
+	return rt, pks[0], nil
+}
+
+// SaveRecord inserts or replaces a record, maintaining every applicable
+// index in the same transaction (§6): load the old record by primary key,
+// let registered index maintainers reconcile entries, then rewrite the
+// record's keys and its version slot.
+func (s *Store) SaveRecord(msg *message.Message) (*StoredRecord, error) {
+	rt, pk, err := s.PrimaryKeyFor(msg)
+	if err != nil {
+		return nil, err
+	}
+	old, err := s.LoadRecordByKey(pk)
+	if err != nil {
+		return nil, err
+	}
+	rec := &StoredRecord{Type: rt, Message: msg, PrimaryKey: pk}
+	if s.md.StoreRecordVersions {
+		rec.pendingUserVersion = s.userVersion
+		s.userVersion++
+	}
+	if err := s.updateIndexes(old, rec); err != nil {
+		return nil, err
+	}
+	if err := s.writeRecordData(rec, old != nil); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// updateIndexes runs every non-disabled maintainer whose index covers the
+// old or new record's type.
+func (s *Store) updateIndexes(old, new *StoredRecord) error {
+	for _, ix := range s.md.Indexes() {
+		applies := false
+		if old != nil && ix.AppliesTo(old.Type.Name) {
+			applies = true
+		}
+		if new != nil && ix.AppliesTo(new.Type.Name) {
+			applies = true
+		}
+		if !applies {
+			continue
+		}
+		st, err := s.IndexState(ix.Name)
+		if err != nil {
+			return err
+		}
+		if st == metadata.StateDisabled {
+			continue
+		}
+		m, err := s.maintainer(ix)
+		if err != nil {
+			return err
+		}
+		if err := m.Update(s.indexContext(ix), old.asIndexRecord(), new.asIndexRecord()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordRange is the key range holding one record's pairs.
+func (s *Store) recordRange(pk tuple.Tuple) ([]byte, []byte) {
+	return s.space.RangeForTuple(tuple.Tuple{recordsSub}.Append(pk...))
+}
+
+func (s *Store) recordKey(pk tuple.Tuple, suffix int64) []byte {
+	return s.space.Pack(tuple.Tuple{recordsSub}.Append(pk...).Append(suffix))
+}
+
+// writeRecordData serializes, splits and writes the record plus its version
+// slot. A range clear removes the old record first, since records can be
+// split across multiple keys (§6).
+func (s *Store) writeRecordData(rec *StoredRecord, hadOld bool) error {
+	if hadOld {
+		b, e := s.recordRange(rec.PrimaryKey)
+		if err := s.tr.ClearRange(b, e); err != nil {
+			return err
+		}
+	}
+	envelope := tuple.Tuple{rec.Type.Name, mustMarshal(rec.Message)}.Pack()
+	blob, err := s.cfg.Serializer.Encode(envelope)
+	if err != nil {
+		return err
+	}
+	rec.Size = len(blob)
+	if len(blob) <= s.cfg.SplitChunkSize {
+		if err := s.tr.Set(s.recordKey(rec.PrimaryKey, unsplitRecord), blob); err != nil {
+			return err
+		}
+		rec.SplitChunks = 1
+	} else {
+		if !s.md.SplitLongRecords {
+			return fmt.Errorf("core: record of %d bytes exceeds the chunk size and splitting is disabled", len(blob))
+		}
+		n := int64(0)
+		for off := 0; off < len(blob); off += s.cfg.SplitChunkSize {
+			hi := off + s.cfg.SplitChunkSize
+			if hi > len(blob) {
+				hi = len(blob)
+			}
+			n++
+			if err := s.tr.Set(s.recordKey(rec.PrimaryKey, n), blob[off:hi]); err != nil {
+				return err
+			}
+		}
+		rec.SplitChunks = int(n)
+	}
+	if s.md.StoreRecordVersions {
+		// The version slot immediately precedes the record data (§4); the
+		// 10-byte prefix is substituted with the commit version at commit.
+		user := rec.pendingUserVersion
+		val := make([]byte, 12, 16)
+		for i := 0; i < 10; i++ {
+			val[i] = 0xFF
+		}
+		binary.BigEndian.PutUint16(val[10:], user)
+		var off [4]byte // versionstamp at offset 0
+		val = append(val, off[:]...)
+		if err := s.tr.Atomic(fdb.MutationSetVersionstampedValue,
+			s.recordKey(rec.PrimaryKey, versionSuffix), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mustMarshal(m *message.Message) []byte {
+	b, err := m.Marshal()
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal: %v", err))
+	}
+	return b
+}
+
+// LoadRecordByKey fetches one record by primary key; nil when absent. The
+// version slot and all record chunks arrive in a single range read (§4).
+func (s *Store) LoadRecordByKey(pk tuple.Tuple) (*StoredRecord, error) {
+	b, e := s.recordRange(pk)
+	kvs, _, err := s.tr.GetRange(b, e, fdb.RangeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if len(kvs) == 0 {
+		return nil, nil
+	}
+	return s.assembleRecord(pk, kvs)
+}
+
+// assembleRecord splices a record's pairs back together (§4). Chunks are
+// ordered by suffix so reverse scans assemble correctly.
+func (s *Store) assembleRecord(pk tuple.Tuple, kvs []fdb.KeyValue) (*StoredRecord, error) {
+	rec := &StoredRecord{PrimaryKey: pk}
+	type chunk struct {
+		suffix int64
+		value  []byte
+	}
+	var parts []chunk
+	for _, kv := range kvs {
+		t, err := s.space.Unpack(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		suffix, ok := t[len(t)-1].(int64)
+		if !ok {
+			return nil, fmt.Errorf("core: malformed record key suffix in %v", t)
+		}
+		if suffix == versionSuffix {
+			v, err := tuple.VersionstampFromBytes(kv.Value)
+			if err != nil {
+				return nil, fmt.Errorf("core: corrupt version slot: %v", err)
+			}
+			rec.Version, rec.HasVersion = v, true
+			continue
+		}
+		parts = append(parts, chunk{suffix: suffix, value: kv.Value})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].suffix < parts[j].suffix })
+	var blob []byte
+	chunks := 0
+	for _, p := range parts {
+		blob = append(blob, p.value...)
+		chunks++
+	}
+	if chunks == 0 {
+		// Only a version slot survives — treat as missing (can happen if a
+		// caller cleared data keys directly).
+		return nil, nil
+	}
+	rec.Size = len(blob)
+	rec.SplitChunks = chunks
+	envelope, err := s.cfg.Serializer.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	t, err := tuple.Unpack(envelope)
+	if err != nil || len(t) != 2 {
+		return nil, fmt.Errorf("core: corrupt record envelope for %v", pk)
+	}
+	typeName, ok := t[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("core: corrupt record type tag for %v", pk)
+	}
+	rt, ok := s.md.RecordType(typeName)
+	if !ok {
+		return nil, fmt.Errorf("core: record of unknown type %q; metadata may predate it", typeName)
+	}
+	wire, _ := t[1].([]byte)
+	msg, err := message.Unmarshal(rt.Descriptor, wire)
+	if err != nil {
+		return nil, err
+	}
+	rec.Type, rec.Message = rt, msg
+	return rec, nil
+}
+
+// DeleteRecord removes a record and its index entries; false when absent.
+func (s *Store) DeleteRecord(pk tuple.Tuple) (bool, error) {
+	old, err := s.LoadRecordByKey(pk)
+	if err != nil {
+		return false, err
+	}
+	if old == nil {
+		return false, nil
+	}
+	if err := s.updateIndexes(old, nil); err != nil {
+		return false, err
+	}
+	b, e := s.recordRange(pk)
+	return true, s.tr.ClearRange(b, e)
+}
+
+// DeleteAllRecords clears all records and index data but preserves the
+// store header.
+func (s *Store) DeleteAllRecords() error {
+	for _, sub := range []int{recordsSub, indexSub, stateSub, progressSub} {
+		b, e := s.space.RangeForTuple(tuple.Tuple{int64(sub)})
+		if err := s.tr.ClearRange(b, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanOptions controls record scans.
+type ScanOptions struct {
+	Reverse      bool
+	Limiter      *cursor.Limiter
+	Continuation []byte
+	// Range restricts the scan to a primary key interval.
+	Range index.TupleRange
+}
+
+// ScanRecords streams records in primary key order. All record types share
+// one extent, so the stream interleaves types (§4); the continuation is the
+// packed primary key of the last complete record.
+func (s *Store) ScanRecords(opts ScanOptions) cursor.Cursor[*StoredRecord] {
+	recSpace := s.space.Sub(recordsSub)
+	begin, end, err := opts.Range.ToKeyRange(recSpace)
+	if err != nil {
+		return errCursor[*StoredRecord](err)
+	}
+	if len(opts.Continuation) > 0 {
+		// The continuation is the packed pk of the last record returned:
+		// skip all of its pairs.
+		if !opts.Reverse {
+			cb, err := tuple.Strinc(append(recSpace.Bytes(), opts.Continuation...))
+			if err != nil {
+				return errCursor[*StoredRecord](err)
+			}
+			begin = cb
+		} else {
+			end = append(recSpace.Bytes(), opts.Continuation...)
+		}
+	}
+	kvs := kvcursor.New(s.tr, begin, end, kvcursor.Options{
+		Reverse: opts.Reverse,
+		Limiter: opts.Limiter,
+	})
+	return &recordCursor{store: s, kvs: kvs, reverse: opts.Reverse}
+}
+
+// recordCursor groups raw pairs into whole records (handling splits).
+type recordCursor struct {
+	store   *Store
+	kvs     cursor.Cursor[fdb.KeyValue]
+	reverse bool
+	pending *fdb.KeyValue
+	halted  *cursor.Result[*StoredRecord]
+	lastPK  []byte
+}
+
+func errCursor[T any](err error) cursor.Cursor[T] {
+	return cursor.Func[T](func() (cursor.Result[T], error) {
+		return cursor.Result[T]{}, err
+	})
+}
+
+// Next implements cursor.Cursor.
+func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
+	if c.halted != nil {
+		return *c.halted, nil
+	}
+	var group []fdb.KeyValue
+	var groupPK tuple.Tuple
+	var groupPKPacked []byte
+	flush := func() (cursor.Result[*StoredRecord], error) {
+		rec, err := c.store.assembleRecord(groupPK, group)
+		if err != nil {
+			return cursor.Result[*StoredRecord]{}, err
+		}
+		c.lastPK = groupPKPacked
+		if rec == nil {
+			// Version-slot-only remnant: skip by recursing.
+			return c.Next()
+		}
+		return cursor.Result[*StoredRecord]{Value: rec, OK: true, Continuation: groupPKPacked}, nil
+	}
+	for {
+		r, err := c.kvs.Next()
+		if err != nil {
+			return cursor.Result[*StoredRecord]{}, err
+		}
+		if !r.OK {
+			if len(group) > 0 && r.Reason == cursor.SourceExhausted {
+				res, err := flush()
+				if err != nil {
+					return res, err
+				}
+				h := cursor.Result[*StoredRecord]{OK: false, Reason: cursor.SourceExhausted}
+				c.halted = &h
+				return res, nil
+			}
+			// Out-of-band halt: drop the partial group; the continuation
+			// names the last complete record.
+			h := cursor.Result[*StoredRecord]{OK: false, Reason: r.Reason, Continuation: c.lastPK}
+			c.halted = &h
+			return h, nil
+		}
+		t, err := c.store.space.Unpack(r.Value.Key)
+		if err != nil {
+			return cursor.Result[*StoredRecord]{}, err
+		}
+		// Key shape: (recordsSub, pk..., suffix)
+		pk := t[1 : len(t)-1]
+		packed := pk.Pack()
+		if group == nil {
+			group = append(group, r.Value)
+			groupPK, groupPKPacked = pk, packed
+			continue
+		}
+		if bytes.Equal(packed, groupPKPacked) {
+			group = append(group, r.Value)
+			continue
+		}
+		// A new primary key begins: emit the completed group and keep the
+		// new pair pending.
+		res, err := flush()
+		if err != nil {
+			return res, err
+		}
+		c.pending = &r.Value
+		// Re-seed the group from the pending pair on the next call.
+		c.kvs = prepend(c.kvs, *c.pending)
+		c.pending = nil
+		return res, nil
+	}
+}
+
+// prepend pushes one value back onto a cursor.
+func prepend(inner cursor.Cursor[fdb.KeyValue], kv fdb.KeyValue) cursor.Cursor[fdb.KeyValue] {
+	used := false
+	return cursor.Func[fdb.KeyValue](func() (cursor.Result[fdb.KeyValue], error) {
+		if !used {
+			used = true
+			return cursor.Result[fdb.KeyValue]{Value: kv, OK: true}, nil
+		}
+		return inner.Next()
+	})
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"recordlayer/internal/fdb"
+)
+
+// VersionCache implements read-version caching (§4): getReadVersion is
+// skipped entirely when a version was fetched recently enough for the
+// caller's staleness tolerance and is no smaller than the newest version the
+// client has already observed. Reads may then see slightly stale data, and
+// transactions that modify state may abort more often — their reads are
+// validated at commit, so they never act on stale data undetected. The
+// optimization suits read-only transactions that tolerate staleness and
+// low-concurrency workloads (§4).
+type VersionCache struct {
+	mu       sync.Mutex
+	version  int64
+	fetched  time.Time
+	observed int64 // newest commit version seen by this client
+	clock    func() time.Time
+}
+
+// NewVersionCache creates an empty cache. A nil clock uses time.Now.
+func NewVersionCache(clock func() time.Time) *VersionCache {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &VersionCache{clock: clock}
+}
+
+// Apply installs a cached read version into tr when one is fresh within
+// acceptableStaleness and not older than the client's last observed commit
+// version; it reports whether the cache was used (a GRV call saved).
+func (c *VersionCache) Apply(tr *fdb.Transaction, acceptableStaleness time.Duration) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version == 0 || c.clock().Sub(c.fetched) > acceptableStaleness || c.version < c.observed {
+		return false
+	}
+	tr.SetReadVersion(c.version)
+	return true
+}
+
+// NoteReadVersion records a version obtained from a real GRV call.
+func (c *VersionCache) NoteReadVersion(v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v > c.version {
+		c.version = v
+		c.fetched = c.clock()
+	}
+	if v > c.observed {
+		c.observed = v
+	}
+}
+
+// NoteCommit records a commit version the client produced or observed; the
+// cache will not serve versions older than it (read-your-writes across
+// transactions, §4: "no smaller than the version previously observed").
+func (c *VersionCache) NoteCommit(v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v > c.observed {
+		c.observed = v
+	}
+}

@@ -1,0 +1,302 @@
+// Package cursor implements the Record Layer's streaming execution model
+// (§3.1, §4): every scan, index read and query plan produces a cursor over a
+// stream of values, and every cursor result carries a continuation — an
+// opaque value encoding the position of the next element. Returning the
+// continuation to the client keeps the layer completely stateless: any
+// stateless server can resume the stream, and operations that exceed the
+// transaction time limit split across transactions (§8.2).
+package cursor
+
+import (
+	"time"
+)
+
+// NoNextReason explains why a cursor stopped producing values (§8.2's limit
+// taxonomy). In-band limits (returned enough rows) differ from out-of-band
+// limits (resource limits reached mid-scan).
+type NoNextReason int
+
+const (
+	// SourceExhausted: there is no more data; the continuation is nil.
+	SourceExhausted NoNextReason = iota
+	// ReturnLimitReached: the requested row limit was delivered.
+	ReturnLimitReached
+	// ScanLimitReached: the scanned-records resource limit was hit.
+	ScanLimitReached
+	// ByteLimitReached: the scanned-bytes resource limit was hit.
+	ByteLimitReached
+	// TimeLimitReached: the per-request time budget was exhausted.
+	TimeLimitReached
+)
+
+func (r NoNextReason) String() string {
+	switch r {
+	case SourceExhausted:
+		return "source-exhausted"
+	case ReturnLimitReached:
+		return "return-limit-reached"
+	case ScanLimitReached:
+		return "scan-limit-reached"
+	case ByteLimitReached:
+		return "byte-limit-reached"
+	case TimeLimitReached:
+		return "time-limit-reached"
+	}
+	return "unknown"
+}
+
+// OutOfBand reports whether the stop was due to a resource limit rather than
+// the data or the request's own row limit.
+func (r NoNextReason) OutOfBand() bool {
+	return r == ScanLimitReached || r == ByteLimitReached || r == TimeLimitReached
+}
+
+// Result is one cursor step: either a value (OK) with the continuation
+// positioned after it, or a halt (with the reason and the continuation from
+// which to resume).
+type Result[T any] struct {
+	Value        T
+	OK           bool
+	Continuation []byte
+	Reason       NoNextReason
+}
+
+// Cursor produces a stream of values. Implementations are single-use and not
+// safe for concurrent use.
+type Cursor[T any] interface {
+	// Next returns the next result. After a result with OK == false, further
+	// calls return the same halt result.
+	Next() (Result[T], error)
+}
+
+// halt builds a non-value result.
+func halt[T any](reason NoNextReason, continuation []byte) Result[T] {
+	return Result[T]{OK: false, Reason: reason, Continuation: continuation}
+}
+
+// Limiter tracks out-of-band resource limits shared by every cursor in one
+// execution (§8.2: limits on records and bytes read, plus a time budget).
+type Limiter struct {
+	recordsLeft int
+	bytesLeft   int
+	deadline    time.Time
+	clock       func() time.Time
+}
+
+// NewLimiter builds a limiter; zero limits mean unlimited, a zero deadline
+// means no time budget.
+func NewLimiter(maxRecords, maxBytes int, deadline time.Time, clock func() time.Time) *Limiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Limiter{recordsLeft: maxRecords, bytesLeft: maxBytes, deadline: deadline, clock: clock}
+}
+
+// Unlimited returns a limiter with no limits.
+func Unlimited() *Limiter { return NewLimiter(0, 0, time.Time{}, nil) }
+
+// TryRecord consumes one scanned record and nbytes of I/O budget, returning
+// the limit hit, if any. The first record is always admitted so progress is
+// guaranteed.
+func (l *Limiter) TryRecord(nbytes int) (NoNextReason, bool) {
+	if l == nil {
+		return 0, true
+	}
+	if !l.deadline.IsZero() && l.clock().After(l.deadline) {
+		return TimeLimitReached, false
+	}
+	if l.recordsLeft < 0 {
+		return ScanLimitReached, false
+	}
+	if l.bytesLeft < 0 {
+		return ByteLimitReached, false
+	}
+	// Admit this record, consuming budget; -1 marks exhaustion for the next.
+	if l.recordsLeft > 0 {
+		l.recordsLeft--
+		if l.recordsLeft == 0 {
+			l.recordsLeft = -1
+		}
+	}
+	if l.bytesLeft > 0 {
+		l.bytesLeft -= nbytes
+		if l.bytesLeft <= 0 {
+			l.bytesLeft = -1
+		}
+	}
+	return 0, true
+}
+
+// ---------------------------------------------------------------- sources
+
+// FromSlice streams a fixed slice (mainly for tests); continuations encode
+// the index of the next element as a single byte-varint.
+func FromSlice[T any](items []T, continuation []byte) Cursor[T] {
+	start := 0
+	if len(continuation) > 0 {
+		start = int(continuation[0]) | int(continuation[1])<<8 | int(continuation[2])<<16
+	}
+	return &sliceCursor[T]{items: items, pos: start}
+}
+
+type sliceCursor[T any] struct {
+	items []T
+	pos   int
+	done  bool
+}
+
+func (c *sliceCursor[T]) Next() (Result[T], error) {
+	if c.done || c.pos >= len(c.items) {
+		c.done = true
+		return halt[T](SourceExhausted, nil), nil
+	}
+	v := c.items[c.pos]
+	c.pos++
+	cont := []byte{byte(c.pos), byte(c.pos >> 8), byte(c.pos >> 16)}
+	if c.pos >= len(c.items) {
+		// Position continuations past the end still allow resumption; the
+		// resumed cursor immediately exhausts.
+	}
+	return Result[T]{Value: v, OK: true, Continuation: cont}, nil
+}
+
+// Func wraps a Next function as a cursor.
+type Func[T any] func() (Result[T], error)
+
+// Next implements Cursor.
+func (f Func[T]) Next() (Result[T], error) { return f() }
+
+// ---------------------------------------------------------------- map
+
+type mapCursor[T, U any] struct {
+	inner Cursor[T]
+	f     func(T) (U, error)
+}
+
+// Map transforms each value; continuations pass through unchanged.
+func Map[T, U any](inner Cursor[T], f func(T) (U, error)) Cursor[U] {
+	return &mapCursor[T, U]{inner: inner, f: f}
+}
+
+func (c *mapCursor[T, U]) Next() (Result[U], error) {
+	r, err := c.inner.Next()
+	if err != nil {
+		return Result[U]{}, err
+	}
+	if !r.OK {
+		return halt[U](r.Reason, r.Continuation), nil
+	}
+	u, err := c.f(r.Value)
+	if err != nil {
+		return Result[U]{}, err
+	}
+	return Result[U]{Value: u, OK: true, Continuation: r.Continuation}, nil
+}
+
+// ---------------------------------------------------------------- filter
+
+type filterCursor[T any] struct {
+	inner Cursor[T]
+	pred  func(T) (bool, error)
+}
+
+// Filter drops values failing pred. A skipped value's continuation becomes
+// the resume point, so long filtered stretches still make progress across
+// continuations.
+func Filter[T any](inner Cursor[T], pred func(T) (bool, error)) Cursor[T] {
+	return &filterCursor[T]{inner: inner, pred: pred}
+}
+
+func (c *filterCursor[T]) Next() (Result[T], error) {
+	for {
+		r, err := c.inner.Next()
+		if err != nil {
+			return Result[T]{}, err
+		}
+		if !r.OK {
+			return r, nil
+		}
+		ok, err := c.pred(r.Value)
+		if err != nil {
+			return Result[T]{}, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------- limit
+
+type limitCursor[T any] struct {
+	inner Cursor[T]
+	left  int
+	last  []byte
+	done  bool
+}
+
+// Limit stops after n values with ReturnLimitReached, carrying the inner
+// continuation so the client can request the next page. n <= 0 is unlimited.
+func Limit[T any](inner Cursor[T], n int) Cursor[T] {
+	if n <= 0 {
+		return inner
+	}
+	return &limitCursor[T]{inner: inner, left: n}
+}
+
+func (c *limitCursor[T]) Next() (Result[T], error) {
+	if c.done {
+		return halt[T](ReturnLimitReached, c.last), nil
+	}
+	if c.left == 0 {
+		c.done = true
+		return halt[T](ReturnLimitReached, c.last), nil
+	}
+	r, err := c.inner.Next()
+	if err != nil {
+		return Result[T]{}, err
+	}
+	if !r.OK {
+		c.done = true
+		return r, nil
+	}
+	c.left--
+	c.last = r.Continuation
+	return r, nil
+}
+
+// ---------------------------------------------------------------- skip
+
+// Skip discards the first n values (used with rank-based scrolling).
+func Skip[T any](inner Cursor[T], n int) Cursor[T] {
+	skipped := 0
+	return Func[T](func() (Result[T], error) {
+		for skipped < n {
+			r, err := inner.Next()
+			if err != nil {
+				return Result[T]{}, err
+			}
+			if !r.OK {
+				return r, nil
+			}
+			skipped++
+		}
+		return inner.Next()
+	})
+}
+
+// Collect drains a cursor into a slice, returning the values, the reason the
+// stream stopped, and the continuation for resumption.
+func Collect[T any](c Cursor[T]) ([]T, NoNextReason, []byte, error) {
+	var out []T
+	for {
+		r, err := c.Next()
+		if err != nil {
+			return out, 0, nil, err
+		}
+		if !r.OK {
+			return out, r.Reason, r.Continuation, nil
+		}
+		out = append(out, r.Value)
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"recordlayer/internal/workload"
+)
+
+// Figure1Result summarizes the record store size distribution experiment.
+type Figure1Result struct {
+	Stores               int
+	FractionUnder1KB     float64
+	BytesFractionOver1MB float64
+	Rows                 []Row
+}
+
+// RunFigure1 regenerates Figure 1: the distribution of record store sizes
+// for a synthetic CloudKit-like population (histogram and CDF of stores, and
+// of bytes), calibrated so a substantial majority of stores hold under 1 kB
+// while most bytes sit in large stores.
+func RunFigure1(w io.Writer, nStores int) Figure1Result {
+	sizes := workload.StoreSizes(nStores, 1)
+	h := NewDecadeHistogram(10)
+	for _, s := range sizes {
+		h.Add(s)
+	}
+	rows := h.Rows()
+	res := Figure1Result{Stores: nStores, Rows: rows}
+	for _, r := range rows {
+		if r.High <= 1_000 {
+			res.FractionUnder1KB += r.Fraction
+		}
+		if r.Low >= 1_000_000 {
+			res.BytesFractionOver1MB += r.ByteFraction
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Figure 1: record store size distribution (%d synthetic stores)\n\n", nStores)
+		t := &Table{Header: []string{"size bucket", "frac stores", "cum", "frac bytes", "cum", "stores", "bytes"}}
+		for _, r := range rows {
+			t.Add(
+				fmt.Sprintf("%s-%s", HumanBytes(r.Low), HumanBytes(r.High)),
+				r.Fraction, r.CumFraction, r.ByteFraction, r.CumByteFrac,
+				Bar(r.Fraction, 20), Bar(r.ByteFraction, 20),
+			)
+		}
+		t.Write(w)
+		fmt.Fprintf(w, "\nstores under 1 kB: %.1f%%   bytes in stores over 1 MB: %.1f%%\n",
+			res.FractionUnder1KB*100, res.BytesFractionOver1MB*100)
+		fmt.Fprintf(w, "paper: \"a substantial majority of record stores contain fewer than 1 kilobyte\"\n")
+	}
+	return res
+}
+
+// Table2Result holds the text-index bunching measurements.
+type Table2Result struct {
+	Corpus       workload.CorpusStats
+	PerBunchSize []BunchMeasurement
+}
+
+// BunchMeasurement is one bunch-size configuration's storage outcome.
+type BunchMeasurement struct {
+	BunchSize      int
+	PhysicalPairs  int
+	LogicalEntries int
+	BytesPerDoc    float64
+	MeanBunch      float64
+}
+
+// RunTable2 is implemented in table2.go (it needs the full record store
+// stack); this declaration documents the result type shared with benches.

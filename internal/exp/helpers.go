@@ -1,0 +1,16 @@
+package exp
+
+import (
+	"recordlayer/internal/index"
+	"recordlayer/internal/tuple"
+)
+
+// rangeForString is the equality tuple range for a one-column index.
+func rangeForString(v string) index.TupleRange {
+	return index.TupleRange{
+		Low: tuple.Tuple{v}, LowInclusive: true,
+		High: tuple.Tuple{v}, HighInclusive: true,
+	}
+}
+
+func scanOpts() index.ScanOptions { return index.ScanOptions{} }

@@ -1,0 +1,251 @@
+// Package fdb is a deterministic, in-process simulator of FoundationDB: an
+// ordered, transactional key-value store with MVCC snapshot reads, optimistic
+// concurrency control, atomic mutations, versionstamps, range clears, and the
+// key/value/transaction size and time limits described in §2 of the Record
+// Layer paper.
+//
+// The simulator implements the contract the Record Layer programs against —
+// strictly-serializable transactions whose read conflict ranges are validated
+// at commit time against the write ranges of concurrently committed
+// transactions — so the layers built on top exercise the same code paths they
+// would on a real cluster. See DESIGN.md §3 for the substitution argument.
+package fdb
+
+import (
+	"sync"
+	"time"
+)
+
+// Limits captures the keyspace and transaction limits FoundationDB enforces
+// (§2: 10 kB keys, 100 kB values, 10 MB transactions, 5 s duration).
+type Limits struct {
+	MaxKeySize   int
+	MaxValueSize int
+	MaxTxnSize   int
+	TxnTimeout   time.Duration
+}
+
+// DefaultLimits mirrors the production limits quoted in the paper.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxKeySize:   10_000,
+		MaxValueSize: 100_000,
+		MaxTxnSize:   10_000_000,
+		TxnTimeout:   5 * time.Second,
+	}
+}
+
+// Options configures a simulated database.
+type Options struct {
+	Limits Limits
+	// Clock supplies wall-clock time for the transaction time limit; tests
+	// inject a manual clock. Defaults to time.Now.
+	Clock func() time.Time
+	// VersionStep is the commit-version increment per commit. FoundationDB
+	// advances versions by roughly one million per second; the default of 1
+	// keeps versionstamps dense.
+	VersionStep int64
+	// ResolverWindow bounds how many recent commits are retained for
+	// conflict resolution (stand-in for FDB's 5 second MVCC window).
+	ResolverWindow int
+	// SnapshotHistory bounds how many recent committed roots are retained so
+	// that SetReadVersion (read-version caching, §4) can read slightly stale
+	// snapshots.
+	SnapshotHistory int
+}
+
+type commitRecord struct {
+	version int64
+	writes  []KeyRange
+}
+
+type versionedRoot struct {
+	version int64
+	root    *node
+}
+
+// Database is a simulated FoundationDB cluster: one ordered keyspace with
+// transactional access.
+type Database struct {
+	mu      sync.Mutex
+	opts    Options
+	version int64
+	root    *node
+	recent  []commitRecord  // ascending by version; resolver window
+	floor   int64           // newest version evicted from the resolver window
+	history []versionedRoot // ascending by version; snapshot history
+	metrics Metrics
+}
+
+// Open creates an empty simulated database. A nil opts uses defaults.
+func Open(opts *Options) *Database {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Limits == (Limits{}) {
+		o.Limits = DefaultLimits()
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.VersionStep <= 0 {
+		o.VersionStep = 1
+	}
+	if o.ResolverWindow <= 0 {
+		o.ResolverWindow = 10_000
+	}
+	if o.SnapshotHistory <= 0 {
+		o.SnapshotHistory = 64
+	}
+	return &Database{opts: o}
+}
+
+// Metrics returns cumulative database-level counters.
+func (d *Database) Metrics() *Metrics { return &d.metrics }
+
+// ReadVersion returns the latest committed version (the GRV result).
+func (d *Database) ReadVersion() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// CreateTransaction begins a new transaction. The read version is obtained
+// lazily on first read (matching the real client's deferred GRV).
+func (d *Database) CreateTransaction() *Transaction {
+	d.metrics.TransactionsStarted.Add(1)
+	return &Transaction{
+		db:          d,
+		start:       d.nowNanos(),
+		readVersion: -1,
+	}
+}
+
+// grv performs a getReadVersion call: latest committed version and its root.
+func (d *Database) grv() (int64, *node) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics.GRVCalls.Add(1)
+	return d.version, d.root
+}
+
+// snapshotAt returns the newest retained root with version <= v. The second
+// result reports whether such a snapshot is still retained.
+func (d *Database) snapshotAt(v int64) (*node, int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v >= d.version {
+		return d.root, d.version, true
+	}
+	for i := len(d.history) - 1; i >= 0; i-- {
+		if d.history[i].version <= v {
+			return d.history[i].root, d.history[i].version, true
+		}
+	}
+	return nil, 0, false
+}
+
+// commit validates the transaction's read conflict ranges against writes
+// committed after its read version, then atomically applies its mutations.
+func (d *Database) commit(t *Transaction) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Resolver: reject if any concurrently committed write range intersects
+	// what this transaction read (with isolation, i.e. non-snapshot).
+	if t.readConflicts.Len() > 0 {
+		if t.readVersion < d.floor {
+			// The resolver window no longer covers this read version.
+			return 0, errCode(CodeTransactionTooOld, "read version %d predates resolver window", t.readVersion)
+		}
+		for i := len(d.recent) - 1; i >= 0; i-- {
+			rec := d.recent[i]
+			if rec.version <= t.readVersion {
+				break
+			}
+			for _, w := range rec.writes {
+				if t.readConflicts.Overlaps(w.Begin, w.End) {
+					d.metrics.Conflicts.Add(1)
+					return 0, errCode(CodeNotCommitted, "transaction conflict")
+				}
+			}
+		}
+	}
+
+	commitVersion := d.version + d.opts.VersionStep
+	root := t.applyTo(d.root, commitVersion)
+
+	// Record write conflict ranges for future resolution.
+	writes := t.writeConflictRanges(commitVersion)
+	if len(writes) > 0 {
+		d.recent = append(d.recent, commitRecord{version: commitVersion, writes: writes})
+		if len(d.recent) > d.opts.ResolverWindow {
+			evict := len(d.recent) - d.opts.ResolverWindow
+			d.floor = d.recent[evict-1].version
+			d.recent = d.recent[evict:]
+		}
+	}
+
+	d.history = append(d.history, versionedRoot{version: d.version, root: d.root})
+	if len(d.history) > d.opts.SnapshotHistory {
+		d.history = d.history[len(d.history)-d.opts.SnapshotHistory:]
+	}
+	d.version = commitVersion
+	d.root = root
+	d.metrics.Commits.Add(1)
+	return commitVersion, nil
+}
+
+// Transact runs f in a retry loop: the transaction is committed after f
+// returns nil, and retried (with a fresh read version) on retryable errors,
+// mirroring the bindings' standard idiom.
+func (d *Database) Transact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
+	for {
+		tr := d.CreateTransaction()
+		v, err := f(tr)
+		if err == nil {
+			err = tr.Commit()
+			if err == nil {
+				return v, nil
+			}
+		}
+		if IsRetryable(err) {
+			d.metrics.Retries.Add(1)
+			continue
+		}
+		return nil, err
+	}
+}
+
+// ReadTransact runs f in a read-only transaction (no commit).
+func (d *Database) ReadTransact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
+	for {
+		tr := d.CreateTransaction()
+		v, err := f(tr)
+		if err == nil {
+			return v, nil
+		}
+		if IsRetryable(err) {
+			d.metrics.Retries.Add(1)
+			continue
+		}
+		return nil, err
+	}
+}
+
+// Size returns the number of live keys (for tests and experiments).
+func (d *Database) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.root.count()
+}
+
+// Clear removes all data (test helper).
+func (d *Database) Clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.root = nil
+	d.recent = nil
+	d.history = nil
+}

@@ -1,0 +1,53 @@
+package fdb
+
+import "fmt"
+
+// Error codes mirror FoundationDB's numbering so client code (the Record
+// Layer) can make the same retry decisions it would against a real cluster.
+const (
+	CodeNotCommitted        = 1020 // transaction conflict; retryable
+	CodeTransactionTooOld   = 1007 // read version is before the MVCC window
+	CodeTransactionTimedOut = 1031 // exceeded the 5 second limit
+	CodeTransactionCanceled = 1025
+	CodeUsedDuringCommit    = 2017
+	CodeTransactionTooLarge = 2101
+	CodeKeyTooLarge         = 2102
+	CodeValueTooLarge       = 2103
+	CodeClientInvalidOp     = 2000
+)
+
+// Error is a FoundationDB-style coded error.
+type Error struct {
+	Code int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fdb error %d: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether the standard retry loop should re-run the
+// transaction after this error.
+func (e *Error) Retryable() bool {
+	switch e.Code {
+	case CodeNotCommitted, CodeTransactionTooOld, CodeTransactionTimedOut:
+		return true
+	}
+	return false
+}
+
+func errCode(code int, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsRetryable reports whether err is a retryable FoundationDB error.
+func IsRetryable(err error) bool {
+	fe, ok := err.(*Error)
+	return ok && fe.Retryable()
+}
+
+// IsConflict reports whether err is a transaction conflict (not_committed).
+func IsConflict(err error) bool {
+	fe, ok := err.(*Error)
+	return ok && fe.Code == CodeNotCommitted
+}

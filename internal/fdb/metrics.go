@@ -1,0 +1,41 @@
+package fdb
+
+import "sync/atomic"
+
+// Counter is a concurrency-safe monotonic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Metrics aggregates database-level counters. Per-transaction figures are
+// available from Transaction.Stats; these totals power the §8.2 overhead
+// experiments and the concurrency ablations.
+type Metrics struct {
+	TransactionsStarted Counter
+	Commits             Counter
+	Conflicts           Counter
+	Retries             Counter
+	GRVCalls            Counter
+
+	KeysRead     Counter
+	BytesRead    Counter
+	KeysWritten  Counter
+	BytesWritten Counter
+}
+
+// TxnStats captures the I/O performed by a single transaction. The Record
+// Layer's resource-isolation limits (§8.2) are enforced against these.
+type TxnStats struct {
+	KeysRead     int
+	BytesRead    int
+	KeysWritten  int // keys mutated at commit (sets + atomic ops + versionstamped)
+	BytesWritten int
+	RangeClears  int
+	Size         int // FDB accounting: mutation bytes + conflict range bytes
+}

@@ -1,0 +1,818 @@
+package fdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+)
+
+// KeyValue is a single key-value pair returned by range reads.
+type KeyValue struct {
+	Key, Value []byte
+}
+
+// RangeOptions controls range reads.
+type RangeOptions struct {
+	// Limit bounds the number of pairs returned; 0 means unlimited.
+	Limit int
+	// ByteLimit bounds the total key+value bytes returned; 0 means unlimited.
+	ByteLimit int
+	// Reverse returns pairs in descending key order, starting from End.
+	Reverse bool
+}
+
+// MutationType enumerates atomic read-modify-write operations (§2). Atomic
+// mutations do not add read conflicts, so concurrent mutations of the same
+// key never conflict — the property aggregate indexes rely on (§7).
+type MutationType int
+
+const (
+	// MutationAdd performs little-endian integer addition.
+	MutationAdd MutationType = iota
+	// MutationBitAnd, MutationBitOr, MutationBitXor are bitwise ops.
+	MutationBitAnd
+	MutationBitOr
+	MutationBitXor
+	// MutationMax / MutationMin compare as little-endian unsigned integers.
+	MutationMax
+	MutationMin
+	// MutationByteMax / MutationByteMin compare lexicographically. Because
+	// tuple encoding is order-preserving, these implement MAX_EVER/MIN_EVER
+	// over tuple-encoded values.
+	MutationByteMax
+	MutationByteMin
+	// MutationAppendIfFits appends if the result stays within the value limit.
+	MutationAppendIfFits
+	// MutationCompareAndClear clears the key iff its value equals the param.
+	MutationCompareAndClear
+	// MutationSetVersionstampedKey substitutes the 10-byte commit versionstamp
+	// into the key at the offset given by the key's final 4 little-endian
+	// bytes (which are stripped).
+	MutationSetVersionstampedKey
+	// MutationSetVersionstampedValue does the same substitution in the value.
+	MutationSetVersionstampedValue
+)
+
+type mutation struct {
+	typ   MutationType
+	param []byte
+}
+
+// bufEntry is the read-your-writes state for one key.
+type bufEntry struct {
+	isSet bool
+	value []byte     // valid when isSet
+	ops   []mutation // pending atomic ops applied to the committed base
+}
+
+type vsKeyOp struct {
+	rawKey []byte // placeholder key with offset suffix stripped
+	offset int
+	value  []byte
+}
+
+// Transaction provides serializable reads and buffered writes against a
+// Database. It is not safe for concurrent use by multiple goroutines,
+// matching the real client.
+type Transaction struct {
+	db    *Database
+	start int64 // start wall clock, nanoseconds
+
+	readVersion int64 // -1 until GRV
+	snapRoot    *node
+	pendingRV   bool // SetReadVersion called; snapshot not yet bound
+
+	writes         map[string]*bufEntry
+	sortedKeys     []string // cache of sorted writes keys; nil when dirty
+	clears         rangeSet
+	vsKeys         []vsKeyOp
+	vsValueOffsets map[string]int // buffer key -> versionstamp offset in value
+
+	readConflicts  rangeSet
+	writeConflicts rangeSet
+
+	stats     TxnStats
+	committed bool
+	canceled  bool
+	cVersion  int64 // committed version
+
+	// options
+	snapshotDefault bool
+}
+
+func (d *Database) nowNanos() int64 { return d.opts.Clock().UnixNano() }
+
+func (t *Transaction) init() {
+	if t.writes == nil {
+		t.writes = make(map[string]*bufEntry)
+	}
+}
+
+func (t *Transaction) checkUsable() error {
+	if t.committed {
+		return errCode(CodeUsedDuringCommit, "transaction already committed")
+	}
+	if t.canceled {
+		return errCode(CodeTransactionCanceled, "transaction canceled")
+	}
+	if t.db.nowNanos()-t.start > int64(t.db.opts.Limits.TxnTimeout) {
+		return errCode(CodeTransactionTimedOut, "transaction timed out")
+	}
+	return nil
+}
+
+func (t *Transaction) ensureSnapshot() error {
+	if t.pendingRV {
+		// SetReadVersion was called: bind to the retained snapshot now.
+		root, actual, ok := t.db.snapshotAt(t.readVersion)
+		if !ok {
+			return errCode(CodeTransactionTooOld, "read version %d no longer retained", t.readVersion)
+		}
+		t.snapRoot = root
+		t.readVersion = actual
+		t.pendingRV = false
+		return nil
+	}
+	if t.readVersion < 0 {
+		t.readVersion, t.snapRoot = t.db.grv()
+	}
+	return nil
+}
+
+// GetReadVersion returns the transaction's read version, performing the GRV
+// call if it has not happened yet.
+func (t *Transaction) GetReadVersion() (int64, error) {
+	if err := t.checkUsable(); err != nil {
+		return 0, err
+	}
+	if err := t.ensureSnapshot(); err != nil {
+		return 0, err
+	}
+	return t.readVersion, nil
+}
+
+// SetReadVersion supplies a cached read version, skipping the GRV call (the
+// read-version caching optimization of §4). Reads will observe the newest
+// retained snapshot at or below v; if none is retained the next read fails
+// with transaction_too_old.
+func (t *Transaction) SetReadVersion(v int64) {
+	t.readVersion = v
+	t.snapRoot = nil
+	t.pendingRV = true
+}
+
+// Snapshot returns a read interface that performs snapshot reads: reads that
+// add no read conflict ranges and therefore never cause this transaction to
+// abort (§2, §10.1).
+func (t *Transaction) Snapshot() Snapshot { return Snapshot{t} }
+
+// Snapshot is the snapshot-isolation read view of a transaction.
+type Snapshot struct{ t *Transaction }
+
+// Get reads a key at snapshot isolation.
+func (s Snapshot) Get(key []byte) ([]byte, error) { return s.t.get(key, true) }
+
+// GetRange reads a range at snapshot isolation.
+func (s Snapshot) GetRange(begin, end []byte, o RangeOptions) ([]KeyValue, bool, error) {
+	return s.t.getRange(begin, end, o, true)
+}
+
+// Get reads a key with full serializable isolation.
+func (t *Transaction) Get(key []byte) ([]byte, error) { return t.get(key, false) }
+
+func (t *Transaction) get(key []byte, snapshot bool) ([]byte, error) {
+	if err := t.checkUsable(); err != nil {
+		return nil, err
+	}
+	if len(key) > t.db.opts.Limits.MaxKeySize {
+		return nil, errCode(CodeKeyTooLarge, "key of %d bytes exceeds limit", len(key))
+	}
+	t.init()
+	if e, ok := t.writes[string(key)]; ok {
+		if e.isSet {
+			return cloneBytes(e.value), nil
+		}
+		// Pending atomic ops: materialize against the read snapshot and
+		// convert to a set, as the read-your-writes layer does.
+		if err := t.ensureSnapshot(); err != nil {
+			return nil, err
+		}
+		base, _ := treapGet(t.snapRoot, key)
+		t.countRead(key, base)
+		if !snapshot {
+			t.readConflicts.AddKey(key)
+		}
+		val, cleared := applyMutations(base, e.ops, t.db.opts.Limits.MaxValueSize)
+		if cleared {
+			delete(t.writes, string(key))
+			t.sortedKeys = nil
+			t.clears.AddKey(key)
+			return nil, nil
+		}
+		e.isSet, e.value, e.ops = true, val, nil
+		return cloneBytes(val), nil
+	}
+	if t.clears.ContainsKey(key) {
+		return nil, nil
+	}
+	if err := t.ensureSnapshot(); err != nil {
+		return nil, err
+	}
+	val, ok := treapGet(t.snapRoot, key)
+	t.countRead(key, val)
+	if !snapshot {
+		t.readConflicts.AddKey(key)
+	}
+	if !ok {
+		return nil, nil
+	}
+	return cloneBytes(val), nil
+}
+
+func (t *Transaction) countRead(key, val []byte) {
+	t.stats.KeysRead++
+	t.stats.BytesRead += len(key) + len(val)
+	t.db.metrics.KeysRead.Add(1)
+	t.db.metrics.BytesRead.Add(int64(len(key) + len(val)))
+}
+
+// GetRange returns key-value pairs in [begin, end), honoring limits. The
+// second result reports whether more data remained when a limit stopped the
+// scan early.
+func (t *Transaction) GetRange(begin, end []byte, o RangeOptions) ([]KeyValue, bool, error) {
+	return t.getRange(begin, end, o, false)
+}
+
+func (t *Transaction) getRange(begin, end []byte, o RangeOptions, snapshot bool) ([]KeyValue, bool, error) {
+	if err := t.checkUsable(); err != nil {
+		return nil, false, err
+	}
+	if bytes.Compare(begin, end) >= 0 {
+		return nil, false, nil
+	}
+	t.init()
+	if err := t.ensureSnapshot(); err != nil {
+		return nil, false, err
+	}
+
+	bufKeys := t.bufferedKeysIn(begin, end, o.Reverse)
+	var snapIter *treapIter
+	if !o.Reverse {
+		snapIter = newTreapIter(t.snapRoot, begin, false)
+	} else {
+		snapIter = newTreapIter(t.snapRoot, end, true)
+	}
+
+	var out []KeyValue
+	var byteCount int
+	more := false
+	bi := 0
+
+	// convert records pending-atomic materializations to apply after the loop.
+	type conv struct {
+		key string
+		val []byte
+		del bool
+	}
+	var conversions []conv
+
+	inDir := func(a, b []byte) bool { // a strictly before b in scan direction
+		if o.Reverse {
+			return bytes.Compare(a, b) > 0
+		}
+		return bytes.Compare(a, b) < 0
+	}
+
+	nextSnap := func() *node {
+		for {
+			n := snapIter.peek()
+			if n == nil {
+				return nil
+			}
+			if !o.Reverse && bytes.Compare(n.key, end) >= 0 {
+				return nil
+			}
+			if o.Reverse && bytes.Compare(n.key, begin) < 0 {
+				return nil
+			}
+			if t.clears.ContainsKey(n.key) {
+				snapIter.next()
+				continue
+			}
+			return n
+		}
+	}
+
+	for {
+		if o.Limit > 0 && len(out) >= o.Limit {
+			more = nextSnap() != nil || bi < len(bufKeys)
+			break
+		}
+		if o.ByteLimit > 0 && byteCount >= o.ByteLimit {
+			more = nextSnap() != nil || bi < len(bufKeys)
+			break
+		}
+		sn := nextSnap()
+		var bk string
+		haveBuf := bi < len(bufKeys)
+		if haveBuf {
+			bk = bufKeys[bi]
+		}
+		if sn == nil && !haveBuf {
+			break
+		}
+		var kv KeyValue
+		switch {
+		case sn != nil && haveBuf && string(sn.key) == bk:
+			// Buffer overrides the snapshot version of the key.
+			snapIter.next()
+			fallthrough
+		case sn == nil || (haveBuf && inDir([]byte(bk), sn.key)):
+			e := t.writes[bk]
+			bi++
+			if e.isSet {
+				kv = KeyValue{Key: []byte(bk), Value: cloneBytes(e.value)}
+			} else {
+				base, _ := treapGet(t.snapRoot, []byte(bk))
+				t.countRead([]byte(bk), base)
+				val, cleared := applyMutations(base, e.ops, t.db.opts.Limits.MaxValueSize)
+				if cleared {
+					conversions = append(conversions, conv{key: bk, del: true})
+					continue
+				}
+				conversions = append(conversions, conv{key: bk, val: val})
+				kv = KeyValue{Key: []byte(bk), Value: cloneBytes(val)}
+			}
+		default:
+			n := snapIter.next()
+			kv = KeyValue{Key: cloneBytes(n.key), Value: cloneBytes(n.value)}
+			t.countRead(n.key, n.value)
+		}
+		out = append(out, kv)
+		byteCount += len(kv.Key) + len(kv.Value)
+	}
+
+	for _, c := range conversions {
+		if c.del {
+			delete(t.writes, c.key)
+			t.sortedKeys = nil
+			t.clears.AddKey([]byte(c.key))
+			continue
+		}
+		e := t.writes[c.key]
+		e.isSet, e.value, e.ops = true, c.val, nil
+	}
+
+	if !snapshot {
+		// Conflict with exactly the portion of the range actually observed.
+		cb, ce := begin, end
+		if more && len(out) > 0 {
+			last := out[len(out)-1].Key
+			if !o.Reverse {
+				ce = keyAfter(last)
+			} else {
+				cb = last
+			}
+		}
+		t.readConflicts.Add(cb, ce)
+	}
+	return out, more, nil
+}
+
+// bufferedKeysIn returns sorted buffer keys within [begin, end).
+func (t *Transaction) bufferedKeysIn(begin, end []byte, reverse bool) []string {
+	if t.sortedKeys == nil {
+		t.sortedKeys = make([]string, 0, len(t.writes))
+		for k := range t.writes {
+			t.sortedKeys = append(t.sortedKeys, k)
+		}
+		sort.Strings(t.sortedKeys)
+	}
+	lo := sort.SearchStrings(t.sortedKeys, string(begin))
+	hi := sort.SearchStrings(t.sortedKeys, string(end))
+	keys := t.sortedKeys[lo:hi]
+	if !reverse {
+		return keys
+	}
+	rev := make([]string, len(keys))
+	for i, k := range keys {
+		rev[len(keys)-1-i] = k
+	}
+	return rev
+}
+
+// Set buffers a key-value write.
+func (t *Transaction) Set(key, value []byte) error {
+	if err := t.checkWrite(key, value); err != nil {
+		return err
+	}
+	t.init()
+	t.setEntry(key, &bufEntry{isSet: true, value: cloneBytes(value)})
+	t.accountWrite(len(key) + len(value))
+	return nil
+}
+
+func (t *Transaction) checkWrite(key, value []byte) error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	if len(key) > t.db.opts.Limits.MaxKeySize {
+		return errCode(CodeKeyTooLarge, "key of %d bytes exceeds limit", len(key))
+	}
+	if len(value) > t.db.opts.Limits.MaxValueSize {
+		return errCode(CodeValueTooLarge, "value of %d bytes exceeds limit", len(value))
+	}
+	return nil
+}
+
+func (t *Transaction) setEntry(key []byte, e *bufEntry) {
+	ks := string(key)
+	if _, ok := t.writes[ks]; !ok {
+		t.sortedKeys = nil
+	}
+	t.writes[ks] = e
+	delete(t.vsValueOffsets, ks)
+}
+
+func (t *Transaction) accountWrite(n int) {
+	t.stats.Size += n
+}
+
+// Clear buffers the removal of a single key.
+func (t *Transaction) Clear(key []byte) error {
+	return t.ClearRange(key, keyAfter(key))
+}
+
+// ClearRange buffers the removal of all keys in [begin, end). Range clears
+// are cheap regardless of the number of keys affected (§2), which is what
+// makes dropping a whole index or record store inexpensive (§6).
+func (t *Transaction) ClearRange(begin, end []byte) error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	if bytes.Compare(begin, end) >= 0 {
+		return nil
+	}
+	t.init()
+	// Remove buffered entries now covered by the clear.
+	for _, k := range t.bufferedKeysIn(begin, end, false) {
+		delete(t.writes, k)
+		delete(t.vsValueOffsets, k)
+	}
+	t.sortedKeys = nil
+	t.clears.Add(begin, end)
+	t.stats.RangeClears++
+	t.accountWrite(len(begin) + len(end))
+	return nil
+}
+
+// Atomic buffers an atomic mutation (§2). For versionstamped mutations the
+// key (or value) must carry a 4-byte little-endian placeholder offset as its
+// final bytes, as produced by tuple.Tuple.PackWithVersionstamp.
+func (t *Transaction) Atomic(typ MutationType, key, param []byte) error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	t.init()
+	switch typ {
+	case MutationSetVersionstampedKey:
+		if len(key) < 4 {
+			return errCode(CodeClientInvalidOp, "versionstamped key too short")
+		}
+		offset := int(binary.LittleEndian.Uint32(key[len(key)-4:]))
+		raw := cloneBytes(key[:len(key)-4])
+		if offset+10 > len(raw) {
+			return errCode(CodeClientInvalidOp, "versionstamp offset %d out of bounds", offset)
+		}
+		if len(raw) > t.db.opts.Limits.MaxKeySize {
+			return errCode(CodeKeyTooLarge, "key of %d bytes exceeds limit", len(raw))
+		}
+		t.vsKeys = append(t.vsKeys, vsKeyOp{rawKey: raw, offset: offset, value: cloneBytes(param)})
+		t.accountWrite(len(raw) + len(param))
+		return nil
+	case MutationSetVersionstampedValue:
+		if len(param) < 4 {
+			return errCode(CodeClientInvalidOp, "versionstamped value too short")
+		}
+		offset := int(binary.LittleEndian.Uint32(param[len(param)-4:]))
+		raw := cloneBytes(param[:len(param)-4])
+		if offset+10 > len(raw) {
+			return errCode(CodeClientInvalidOp, "versionstamp offset %d out of bounds", offset)
+		}
+		if err := t.checkWrite(key, raw); err != nil {
+			return err
+		}
+		t.setEntry(key, &bufEntry{isSet: true, value: raw})
+		if t.vsValueOffsets == nil {
+			t.vsValueOffsets = make(map[string]int)
+		}
+		t.vsValueOffsets[string(key)] = offset
+		t.accountWrite(len(key) + len(raw))
+		return nil
+	}
+	if err := t.checkWrite(key, param); err != nil {
+		return err
+	}
+	ks := string(key)
+	if e, ok := t.writes[ks]; ok {
+		if e.isSet {
+			val, cleared := applyMutations(e.value, []mutation{{typ, cloneBytes(param)}}, t.db.opts.Limits.MaxValueSize)
+			if cleared {
+				delete(t.writes, ks)
+				t.sortedKeys = nil
+				t.clears.AddKey(key)
+			} else {
+				e.value = val
+			}
+		} else {
+			e.ops = append(e.ops, mutation{typ, cloneBytes(param)})
+		}
+	} else if t.clears.ContainsKey(key) {
+		val, cleared := applyMutations(nil, []mutation{{typ, cloneBytes(param)}}, t.db.opts.Limits.MaxValueSize)
+		if !cleared {
+			t.setEntry(key, &bufEntry{isSet: true, value: val})
+		}
+	} else {
+		t.setEntry(key, &bufEntry{ops: []mutation{{typ, cloneBytes(param)}}})
+	}
+	t.accountWrite(len(key) + len(param))
+	return nil
+}
+
+// AddReadConflictKey manually adds a single-key read conflict, used after
+// snapshot reads to conflict only on the keys that matter (§10.1).
+func (t *Transaction) AddReadConflictKey(key []byte) { t.readConflicts.AddKey(key) }
+
+// AddReadConflictRange manually adds a read conflict range.
+func (t *Transaction) AddReadConflictRange(begin, end []byte) { t.readConflicts.Add(begin, end) }
+
+// AddWriteConflictKey manually adds a single-key write conflict.
+func (t *Transaction) AddWriteConflictKey(key []byte) { t.writeConflicts.AddKey(key) }
+
+// AddWriteConflictRange manually adds a write conflict range.
+func (t *Transaction) AddWriteConflictRange(begin, end []byte) { t.writeConflicts.Add(begin, end) }
+
+// Commit validates and applies the transaction. On conflict it returns a
+// retryable not_committed error, matching optimistic concurrency control.
+func (t *Transaction) Commit() error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	if t.stats.Size+t.conflictRangeBytes() > t.db.opts.Limits.MaxTxnSize {
+		return errCode(CodeTransactionTooLarge, "transaction exceeds %d bytes", t.db.opts.Limits.MaxTxnSize)
+	}
+	if len(t.writes) == 0 && t.clears.Len() == 0 && len(t.vsKeys) == 0 && t.writeConflicts.Len() == 0 {
+		// Read-only transactions commit trivially at their read version.
+		t.committed = true
+		if err := t.ensureSnapshot(); err != nil {
+			return err
+		}
+		t.cVersion = t.readVersion
+		return nil
+	}
+	if err := t.ensureSnapshot(); err != nil {
+		return err
+	}
+	v, err := t.db.commit(t)
+	if err != nil {
+		return err
+	}
+	t.committed = true
+	t.cVersion = v
+	return nil
+}
+
+func (t *Transaction) conflictRangeBytes() int {
+	n := 0
+	for _, r := range t.readConflicts.All() {
+		n += len(r.Begin) + len(r.End)
+	}
+	return n
+}
+
+// applyTo produces the new committed root. Pending atomic mutations read
+// their base value from the *current* committed root, not the transaction's
+// snapshot — this is what makes concurrent atomic increments compose.
+func (t *Transaction) applyTo(root *node, commitVersion int64) *node {
+	for _, r := range t.clears.All() {
+		root = treapClearRange(root, r.Begin, r.End)
+	}
+	keys := make([]string, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	stamp := versionstampBytes(commitVersion)
+	for _, k := range keys {
+		e := t.writes[k]
+		var val []byte
+		if e.isSet {
+			val = e.value
+			if off, ok := t.vsValueOffsets[k]; ok {
+				val = cloneBytes(val)
+				copy(val[off:off+10], stamp)
+			}
+		} else {
+			base, _ := treapGet(root, []byte(k))
+			var cleared bool
+			val, cleared = applyMutations(base, e.ops, t.db.opts.Limits.MaxValueSize)
+			if cleared {
+				root = treapDelete(root, []byte(k))
+				t.noteWritten(k, nil)
+				continue
+			}
+		}
+		root = treapInsert(root, []byte(k), cloneBytes(val))
+		t.noteWritten(k, val)
+	}
+	for _, op := range t.vsKeys {
+		key := cloneBytes(op.rawKey)
+		copy(key[op.offset:op.offset+10], stamp)
+		root = treapInsert(root, key, cloneBytes(op.value))
+		t.noteWritten(string(key), op.value)
+	}
+	return root
+}
+
+func (t *Transaction) noteWritten(key string, val []byte) {
+	t.stats.KeysWritten++
+	t.stats.BytesWritten += len(key) + len(val)
+	t.db.metrics.KeysWritten.Add(1)
+	t.db.metrics.BytesWritten.Add(int64(len(key) + len(val)))
+}
+
+// writeConflictRanges collects this transaction's write footprint for the
+// resolver window.
+func (t *Transaction) writeConflictRanges(commitVersion int64) []KeyRange {
+	var out []KeyRange
+	for _, r := range t.clears.All() {
+		out = append(out, r)
+	}
+	for k := range t.writes {
+		out = append(out, singleKeyRange([]byte(k)))
+	}
+	stamp := versionstampBytes(commitVersion)
+	for _, op := range t.vsKeys {
+		key := cloneBytes(op.rawKey)
+		copy(key[op.offset:op.offset+10], stamp)
+		out = append(out, singleKeyRange(key))
+	}
+	out = append(out, t.writeConflicts.All()...)
+	return out
+}
+
+// versionstampBytes renders the 10-byte transaction version: 8-byte
+// big-endian commit version plus a 2-byte batch order (always zero here,
+// since each simulated commit forms its own batch).
+func versionstampBytes(commitVersion int64) []byte {
+	b := make([]byte, 10)
+	binary.BigEndian.PutUint64(b, uint64(commitVersion))
+	return b
+}
+
+// CommittedVersion returns the version this transaction committed at.
+func (t *Transaction) CommittedVersion() (int64, error) {
+	if !t.committed {
+		return 0, errCode(CodeClientInvalidOp, "transaction not committed")
+	}
+	return t.cVersion, nil
+}
+
+// Versionstamp returns the 10-byte versionstamp assigned at commit.
+func (t *Transaction) Versionstamp() ([]byte, error) {
+	if !t.committed {
+		return nil, errCode(CodeClientInvalidOp, "transaction not committed")
+	}
+	return versionstampBytes(t.cVersion), nil
+}
+
+// Stats returns the I/O accounting for this transaction so far.
+func (t *Transaction) Stats() TxnStats { return t.stats }
+
+// Cancel aborts the transaction; all subsequent operations fail.
+func (t *Transaction) Cancel() { t.canceled = true }
+
+// Reset returns the transaction to a fresh state with a new read version.
+func (t *Transaction) Reset() {
+	*t = Transaction{db: t.db, start: t.db.nowNanos(), readVersion: -1}
+}
+
+// applyMutations folds atomic operations over a base value. The second
+// result reports that the key should be cleared (CompareAndClear matched).
+func applyMutations(base []byte, ops []mutation, maxValue int) ([]byte, bool) {
+	val := cloneBytes(base)
+	cleared := base == nil
+	for _, m := range ops {
+		switch m.typ {
+		case MutationAdd:
+			val = addLittleEndian(val, m.param)
+		case MutationBitAnd:
+			val = bitOp(val, m.param, func(a, b byte) byte { return a & b })
+		case MutationBitOr:
+			val = bitOp(val, m.param, func(a, b byte) byte { return a | b })
+		case MutationBitXor:
+			val = bitOp(val, m.param, func(a, b byte) byte { return a ^ b })
+		case MutationMax:
+			if cleared || compareLittleEndian(m.param, val) > 0 {
+				val = cloneBytes(m.param)
+			}
+		case MutationMin:
+			if cleared || compareLittleEndian(m.param, val) < 0 {
+				val = cloneBytes(m.param)
+			}
+		case MutationByteMax:
+			if cleared || bytes.Compare(m.param, val) > 0 {
+				val = cloneBytes(m.param)
+			}
+		case MutationByteMin:
+			if cleared || bytes.Compare(m.param, val) < 0 {
+				val = cloneBytes(m.param)
+			}
+		case MutationAppendIfFits:
+			if len(val)+len(m.param) <= maxValue {
+				val = append(val, m.param...)
+			}
+		case MutationCompareAndClear:
+			if bytes.Equal(val, m.param) {
+				return nil, true
+			}
+		}
+		cleared = false
+	}
+	return val, false
+}
+
+// addLittleEndian adds two little-endian unsigned integers; the result has
+// the parameter's length (FDB semantics), with wraparound.
+func addLittleEndian(base, param []byte) []byte {
+	out := make([]byte, len(param))
+	var carry uint16
+	for i := 0; i < len(param); i++ {
+		var b byte
+		if i < len(base) {
+			b = base[i]
+		}
+		s := uint16(b) + uint16(param[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+func bitOp(base, param []byte, f func(a, b byte) byte) []byte {
+	out := make([]byte, len(param))
+	for i := 0; i < len(param); i++ {
+		var b byte
+		if i < len(base) {
+			b = base[i]
+		}
+		out[i] = f(b, param[i])
+	}
+	return out
+}
+
+// compareLittleEndian compares little-endian unsigned integers of possibly
+// different lengths.
+func compareLittleEndian(a, b []byte) int {
+	la, lb := len(a), len(b)
+	n := la
+	if lb > n {
+		n = lb
+	}
+	for i := n - 1; i >= 0; i-- {
+		var av, bv byte
+		if i < la {
+			av = a[i]
+		}
+		if i < lb {
+			bv = b[i]
+		}
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// keyAfter returns the immediate successor key (key + 0x00).
+func keyAfter(key []byte) []byte {
+	out := make([]byte, len(key)+1)
+	copy(out, key)
+	return out
+}
+
+// KeyAfter returns the immediate successor key (key + 0x00); exported for
+// layers that need to construct inclusive-begin scans.
+func KeyAfter(key []byte) []byte { return keyAfter(key) }

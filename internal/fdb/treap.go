@@ -1,0 +1,238 @@
+package fdb
+
+import (
+	"bytes"
+	"hash/fnv"
+)
+
+// The storage engine is an immutable (persistent) treap keyed by []byte.
+// Every mutation returns a new root and shares unchanged subtrees with the
+// old one, so a committed root *is* an MVCC snapshot: transactions hold the
+// root captured at their read version and never see later commits.
+//
+// Node priorities are derived from a hash of the key, which makes the tree
+// shape deterministic regardless of insertion order — useful for reproducible
+// experiments — while keeping the expected depth logarithmic.
+
+type node struct {
+	key, value  []byte
+	prio        uint64
+	size        int // subtree node count
+	left, right *node
+}
+
+func keyPrio(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	// Mix so nearly-identical keys do not produce correlated priorities.
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	return v
+}
+
+func newLeaf(key, value []byte) *node {
+	return &node{key: key, value: value, prio: keyPrio(key), size: 1}
+}
+
+func (n *node) clone() *node {
+	m := *n
+	return &m
+}
+
+func (n *node) fix() {
+	n.size = 1 + n.left.count() + n.right.count()
+}
+
+func (n *node) count() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func treapGet(n *node, key []byte) ([]byte, bool) {
+	for n != nil {
+		switch c := bytes.Compare(key, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	return nil, false
+}
+
+func treapInsert(n *node, key, value []byte) *node {
+	if n == nil {
+		return newLeaf(key, value)
+	}
+	c := bytes.Compare(key, n.key)
+	if c == 0 {
+		m := n.clone()
+		m.value = value
+		return m
+	}
+	m := n.clone()
+	if c < 0 {
+		m.left = treapInsert(n.left, key, value)
+		if m.left.prio > m.prio {
+			m = rotateRight(m)
+		}
+	} else {
+		m.right = treapInsert(n.right, key, value)
+		if m.right.prio > m.prio {
+			m = rotateLeft(m)
+		}
+	}
+	m.fix()
+	return m
+}
+
+// rotateRight assumes m and m.left are freshly cloned and safe to mutate.
+func rotateRight(m *node) *node {
+	l := m.left
+	m.left = l.right
+	l.right = m
+	m.fix()
+	return l
+}
+
+func rotateLeft(m *node) *node {
+	r := m.right
+	m.right = r.left
+	r.left = m
+	m.fix()
+	return r
+}
+
+func treapDelete(n *node, key []byte) *node {
+	if n == nil {
+		return nil
+	}
+	c := bytes.Compare(key, n.key)
+	if c == 0 {
+		return treapMerge(n.left, n.right)
+	}
+	m := n.clone()
+	if c < 0 {
+		m.left = treapDelete(n.left, key)
+	} else {
+		m.right = treapDelete(n.right, key)
+	}
+	m.fix()
+	return m
+}
+
+// treapMerge joins two treaps where every key in l precedes every key in r.
+func treapMerge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		m := l.clone()
+		m.right = treapMerge(l.right, r)
+		m.fix()
+		return m
+	default:
+		m := r.clone()
+		m.left = treapMerge(l, r.left)
+		m.fix()
+		return m
+	}
+}
+
+// treapSplit partitions n into keys < key and keys >= key.
+func treapSplit(n *node, key []byte) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if bytes.Compare(n.key, key) < 0 {
+		m := n.clone()
+		m.right, r = treapSplit(n.right, key)
+		m.fix()
+		return m, r
+	}
+	m := n.clone()
+	l, m.left = treapSplit(n.left, key)
+	m.fix()
+	return l, m
+}
+
+// treapClearRange removes every key in [begin, end).
+func treapClearRange(n *node, begin, end []byte) *node {
+	if bytes.Compare(begin, end) >= 0 {
+		return n
+	}
+	l, rest := treapSplit(n, begin)
+	_, r := treapSplit(rest, end)
+	return treapMerge(l, r)
+}
+
+// treapIter walks a treap in key order (ascending or descending) starting at
+// a seek position. The stack holds nodes whose own entry is still pending.
+type treapIter struct {
+	stack   []*node
+	reverse bool
+}
+
+// newTreapIter positions the iterator at the first key >= seek (ascending)
+// or the last key < seek (descending, i.e. strictly before the end key).
+func newTreapIter(root *node, seek []byte, reverse bool) *treapIter {
+	it := &treapIter{reverse: reverse}
+	n := root
+	for n != nil {
+		if !reverse {
+			if bytes.Compare(n.key, seek) >= 0 {
+				it.stack = append(it.stack, n)
+				n = n.left
+			} else {
+				n = n.right
+			}
+		} else {
+			if bytes.Compare(n.key, seek) < 0 {
+				it.stack = append(it.stack, n)
+				n = n.right
+			} else {
+				n = n.left
+			}
+		}
+	}
+	return it
+}
+
+// peek returns the next node without consuming it, or nil when exhausted.
+func (it *treapIter) peek() *node {
+	if len(it.stack) == 0 {
+		return nil
+	}
+	return it.stack[len(it.stack)-1]
+}
+
+// next consumes and returns the next node, advancing the iterator.
+func (it *treapIter) next() *node {
+	if len(it.stack) == 0 {
+		return nil
+	}
+	n := it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	if !it.reverse {
+		c := n.right
+		for c != nil {
+			it.stack = append(it.stack, c)
+			c = c.left
+		}
+	} else {
+		c := n.left
+		for c != nil {
+			it.stack = append(it.stack, c)
+			c = c.right
+		}
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package index
+
+import (
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/kvcursor"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/rankedset"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// RankMaintainer implements the RANK index type (Appendix B): alongside an
+// ordinary value mapping it maintains a persistent skip list over the index
+// entries, giving efficient access to records by ordinal rank (leaderboards)
+// and rank-of-value queries (scrollbars).
+type RankMaintainer struct {
+	ix    *metadata.Index
+	value *ValueMaintainer
+}
+
+// Sub-subspaces: 0 holds the plain value entries, 1 the skip list.
+const (
+	rankValueSub = 0
+	rankSetSub   = 1
+)
+
+func newRankMaintainer(ix *metadata.Index) (Maintainer, error) {
+	vm, err := newValueMaintainer(ix)
+	if err != nil {
+		return nil, err
+	}
+	return &RankMaintainer{ix: ix, value: vm.(*ValueMaintainer)}, nil
+}
+
+func (m *RankMaintainer) set(space subspace.Subspace) *rankedset.RankedSet {
+	return rankedset.New(space.Sub(rankSetSub), nil)
+}
+
+func (m *RankMaintainer) valueCtx(ctx *Context) *Context {
+	sub := *ctx
+	sub.Space = ctx.Space.Sub(rankValueSub)
+	return &sub
+}
+
+// member encodes an index entry plus primary key as a skip-list member, so
+// ties on the indexed value order deterministically by primary key.
+func member(entry, pk tuple.Tuple) []byte {
+	return entry.Append(pk...).Pack()
+}
+
+// Update implements Maintainer.
+func (m *RankMaintainer) Update(ctx *Context, old, new *Record) error {
+	if err := m.value.Update(m.valueCtx(ctx), old, new); err != nil {
+		return err
+	}
+	rs := m.set(ctx.Space)
+	if err := rs.Init(ctx.Tr); err != nil {
+		return err
+	}
+	oldEntries, err := entriesFor(ctx.Index, old)
+	if err != nil {
+		return err
+	}
+	newEntries, err := entriesFor(ctx.Index, new)
+	if err != nil {
+		return err
+	}
+	removed, added := diffEntries(oldEntries, newEntries)
+	for _, t := range removed {
+		if _, err := rs.Delete(ctx.Tr, member(t, old.PrimaryKey)); err != nil {
+			return err
+		}
+	}
+	for _, t := range added {
+		if _, err := rs.Insert(ctx.Tr, member(t, new.PrimaryKey)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns the ordinal rank of a record's indexed entry; ok=false when
+// the (entry, primary key) pair is not indexed.
+func (m *RankMaintainer) Rank(ctx *Context, entry, pk tuple.Tuple) (int64, bool, error) {
+	return m.set(ctx.Space).Rank(ctx.Tr, member(entry, pk))
+}
+
+// RankOfValue returns the rank a value would occupy (count of entries below
+// it), whether or not it is present — the scrollbar use case.
+func (m *RankMaintainer) RankOfValue(ctx *Context, entry tuple.Tuple) (int64, error) {
+	return m.set(ctx.Space).CountLess(ctx.Tr, entry.Pack())
+}
+
+// ByRank returns the index entry at the given ordinal rank.
+func (m *RankMaintainer) ByRank(ctx *Context, rank int64) (Entry, bool, error) {
+	memberKey, ok, err := m.set(ctx.Space).Select(ctx.Tr, rank)
+	if err != nil || !ok {
+		return Entry{}, false, err
+	}
+	t, err := tuple.Unpack(memberKey)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	kc := m.value.KeyColumns()
+	return Entry{Key: t[:kc], PrimaryKey: t[kc:]}, true, nil
+}
+
+// Size returns the number of indexed entries.
+func (m *RankMaintainer) Size(ctx *Context) (int64, error) {
+	return m.set(ctx.Space).Size(ctx.Tr)
+}
+
+// ScanByValue streams entries in value order, like a VALUE index.
+func (m *RankMaintainer) ScanByValue(ctx *Context, r TupleRange, opts ScanOptions) (cursor.Cursor[Entry], error) {
+	return m.value.Scan(m.valueCtx(ctx), r, opts)
+}
+
+// ScanByRank streams entries starting at the given rank, in value order:
+// a Select to find the start, then an ordinary ordered scan — exactly how
+// the paper's scrollbar example avoids linear skipping (App. B).
+func (m *RankMaintainer) ScanByRank(ctx *Context, startRank int64, opts ScanOptions) (cursor.Cursor[Entry], error) {
+	vctx := m.valueCtx(ctx)
+	if len(opts.Continuation) > 0 {
+		// Resuming: the continuation addresses the value scan directly.
+		return m.value.Scan(vctx, TupleRange{}, opts)
+	}
+	memberKey, ok, err := m.set(ctx.Space).Select(ctx.Tr, startRank)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return cursor.FromSlice[Entry](nil, nil), nil
+	}
+	begin := make([]byte, 0, len(vctx.Space.Bytes())+len(memberKey))
+	begin = append(begin, vctx.Space.Bytes()...)
+	begin = append(begin, memberKey...)
+	_, end := vctx.Space.Range()
+	kvs := kvcursor.New(ctx.Tr, begin, end, kvcursor.Options{
+		Reverse: opts.Reverse,
+		Limiter: opts.Limiter,
+	})
+	space := vctx.Space
+	vm := m.value
+	return cursor.Map(kvs, func(kv fdb.KeyValue) (Entry, error) {
+		return vm.DecodeEntry(space, kv)
+	}), nil
+}

@@ -1,0 +1,194 @@
+package index
+
+import (
+	"fmt"
+
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/kvcursor"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// Entry is one index entry: the indexed key columns, the primary key of the
+// record it points to, and any covering value columns (KeyWithValue).
+type Entry struct {
+	Key        tuple.Tuple
+	PrimaryKey tuple.Tuple
+	Value      tuple.Tuple
+}
+
+// TupleRange selects index entries by key prefix interval. A nil bound is
+// unbounded on that side. Bounds are tuple prefixes: an inclusive bound
+// includes every entry extending it.
+type TupleRange struct {
+	Low, High     tuple.Tuple
+	LowInclusive  bool
+	HighInclusive bool
+}
+
+// ToKeyRange resolves the tuple range to a physical key range within space.
+func (r TupleRange) ToKeyRange(space subspace.Subspace) (begin, end []byte, err error) {
+	if r.Low == nil {
+		begin, _ = space.Range()
+	} else {
+		packed := space.Pack(r.Low)
+		if r.LowInclusive {
+			begin = packed
+		} else {
+			begin, err = tuple.Strinc(packed)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if r.High == nil {
+		_, end = space.Range()
+	} else {
+		packed := space.Pack(r.High)
+		if r.HighInclusive {
+			end, err = tuple.Strinc(packed)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			end = packed
+		}
+	}
+	return begin, end, nil
+}
+
+// ValueMaintainer implements the default VALUE index type (§7): a mapping
+// from indexed field values to record primary keys.
+type ValueMaintainer struct {
+	ix         *metadata.Index
+	keyColumns int // entry columns stored in the key
+	kwv        *keyexpr.KeyWithValueExpression
+}
+
+func newValueMaintainer(ix *metadata.Index) (Maintainer, error) {
+	m := &ValueMaintainer{ix: ix, keyColumns: ix.Expression.ColumnCount()}
+	if kwv, ok := ix.Expression.(keyexpr.KeyWithValueExpression); ok {
+		m.kwv = &kwv
+		m.keyColumns = kwv.KeyColumns()
+	}
+	return m, nil
+}
+
+// KeyColumns returns the number of key columns preceding the primary key in
+// each entry.
+func (m *ValueMaintainer) KeyColumns() int { return m.keyColumns }
+
+// splitEntry divides an evaluated tuple into key and covering-value parts.
+func (m *ValueMaintainer) splitEntry(t tuple.Tuple) (key, value tuple.Tuple) {
+	if m.kwv != nil {
+		return m.kwv.Split(t)
+	}
+	return t, nil
+}
+
+func (m *ValueMaintainer) entryKey(space subspace.Subspace, key, pk tuple.Tuple) []byte {
+	return space.Pack(key.Append(pk...))
+}
+
+// Update implements Maintainer.
+func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
+	oldEntries, err := entriesFor(ctx.Index, old)
+	if err != nil {
+		return err
+	}
+	newEntries, err := entriesFor(ctx.Index, new)
+	if err != nil {
+		return err
+	}
+	removed, added := diffEntries(oldEntries, newEntries)
+	for _, t := range removed {
+		key, _ := m.splitEntry(t)
+		if err := ctx.Tr.Clear(m.entryKey(ctx.Space, key, old.PrimaryKey)); err != nil {
+			return err
+		}
+	}
+	for _, t := range added {
+		key, value := m.splitEntry(t)
+		if m.ix.Unique {
+			if err := m.checkUnique(ctx, key, new.PrimaryKey); err != nil {
+				return err
+			}
+		}
+		var packed []byte
+		if len(value) > 0 {
+			packed = value.Pack()
+		}
+		if err := ctx.Tr.Set(m.entryKey(ctx.Space, key, new.PrimaryKey), packed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkUnique rejects a second primary key under the same index key.
+func (m *ValueMaintainer) checkUnique(ctx *Context, key tuple.Tuple, pk tuple.Tuple) error {
+	begin, end := ctx.Space.RangeForTuple(key)
+	kvs, _, err := ctx.Tr.GetRange(begin, end, fdb.RangeOptions{Limit: 2})
+	if err != nil {
+		return err
+	}
+	for _, kv := range kvs {
+		e, err := m.DecodeEntry(ctx.Space, kv)
+		if err != nil {
+			return err
+		}
+		if tuple.Compare(e.PrimaryKey, pk) != 0 {
+			return fmt.Errorf("index %q: uniqueness violation on key %v (held by %v)",
+				m.ix.Name, key, e.PrimaryKey)
+		}
+	}
+	return nil
+}
+
+// DecodeEntry parses a physical pair back into an Entry.
+func (m *ValueMaintainer) DecodeEntry(space subspace.Subspace, kv fdb.KeyValue) (Entry, error) {
+	t, err := space.Unpack(kv.Key)
+	if err != nil {
+		return Entry{}, err
+	}
+	if len(t) < m.keyColumns {
+		return Entry{}, fmt.Errorf("index %q: entry key has %d columns, expected >= %d",
+			m.ix.Name, len(t), m.keyColumns)
+	}
+	e := Entry{Key: t[:m.keyColumns], PrimaryKey: t[m.keyColumns:]}
+	if len(kv.Value) > 0 {
+		v, err := tuple.Unpack(kv.Value)
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Value = v
+	}
+	return e, nil
+}
+
+// ScanOptions controls index scans.
+type ScanOptions struct {
+	Reverse      bool
+	Limiter      *cursor.Limiter
+	Continuation []byte
+}
+
+// Scan streams index entries in the tuple range in key order.
+func (m *ValueMaintainer) Scan(ctx *Context, r TupleRange, opts ScanOptions) (cursor.Cursor[Entry], error) {
+	begin, end, err := r.ToKeyRange(ctx.Space)
+	if err != nil {
+		return nil, err
+	}
+	kvs := kvcursor.New(ctx.Tr, begin, end, kvcursor.Options{
+		Reverse:      opts.Reverse,
+		Limiter:      opts.Limiter,
+		Continuation: opts.Continuation,
+	})
+	space := ctx.Space
+	return cursor.Map(kvs, func(kv fdb.KeyValue) (Entry, error) {
+		return m.DecodeEntry(space, kv)
+	}), nil
+}

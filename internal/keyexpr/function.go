@@ -1,0 +1,83 @@
+package keyexpr
+
+import (
+	"fmt"
+	"sync"
+
+	"recordlayer/internal/tuple"
+)
+
+// FunctionImpl computes tuples from a record. Function key expressions allow
+// arbitrary user-defined functions against records and their fields
+// (Appendix A); CloudKit's legacy-sync-key migration is one (§8.1).
+type FunctionImpl func(ctx *Context) ([]tuple.Tuple, error)
+
+type functionDef struct {
+	impl    FunctionImpl
+	columns int
+}
+
+var (
+	funcMu   sync.RWMutex
+	funcDefs = map[string]functionDef{}
+)
+
+// RegisterFunction installs a named function producing tuples of the given
+// column count. Registration must happen before any metadata referencing the
+// function is loaded; re-registering a name replaces the implementation.
+func RegisterFunction(name string, columns int, impl FunctionImpl) {
+	funcMu.Lock()
+	defer funcMu.Unlock()
+	funcDefs[name] = functionDef{impl: impl, columns: columns}
+}
+
+type functionExpr struct {
+	name string
+	def  functionDef
+}
+
+// Function references a registered function by name.
+func Function(name string) (Expression, error) {
+	funcMu.RLock()
+	def, ok := funcDefs[name]
+	funcMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("keyexpr: function %q not registered", name)
+	}
+	return functionExpr{name: name, def: def}, nil
+}
+
+// MustFunction is Function for names known to be registered.
+func MustFunction(name string) Expression {
+	e, err := Function(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e functionExpr) ColumnCount() int { return e.def.columns }
+
+func (e functionExpr) Columns() []Column {
+	out := make([]Column, e.def.columns)
+	for i := range out {
+		out[i] = Column{Kind: ColFunction, Function: e.name}
+	}
+	return out
+}
+
+func (e functionExpr) String() string { return fmt.Sprintf("function(%q)", e.name) }
+
+func (e functionExpr) Evaluate(ctx *Context) ([]tuple.Tuple, error) {
+	ts, err := e.def.impl(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range ts {
+		if len(t) != e.def.columns {
+			return nil, fmt.Errorf("keyexpr: function %q produced %d columns, declared %d",
+				e.name, len(t), e.def.columns)
+		}
+	}
+	return ts, nil
+}

@@ -1,0 +1,287 @@
+// Package keyspace implements the KeySpace API (§4): a logical directory
+// tree describing how an application organizes its data within the global
+// keyspace. Tracing a path through the tree compiles to a tuple that becomes
+// a row key or record store location, with the guarantee that sibling
+// directories are logically isolated and non-overlapping. Where appropriate,
+// string directory values are converted to small integers via the directory
+// layer.
+package keyspace
+
+import (
+	"fmt"
+
+	"recordlayer/internal/directory"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// ValueType constrains the tuple values a directory accepts.
+type ValueType int
+
+const (
+	// TypeConstant directories hold one fixed value supplied at definition.
+	TypeConstant ValueType = iota
+	// TypeString directories accept any string value.
+	TypeString
+	// TypeInt64 directories accept any integer value.
+	TypeInt64
+	// TypeBytes directories accept any byte-string value.
+	TypeBytes
+	// TypeUUID directories accept UUID values.
+	TypeUUID
+)
+
+func (t ValueType) String() string {
+	switch t {
+	case TypeConstant:
+		return "constant"
+	case TypeString:
+		return "string"
+	case TypeInt64:
+		return "int64"
+	case TypeBytes:
+		return "bytes"
+	case TypeUUID:
+		return "uuid"
+	}
+	return "unknown"
+}
+
+// Directory is one level of the logical tree.
+type Directory struct {
+	name     string
+	typ      ValueType
+	constant interface{}
+	interned bool // resolve string values through the directory layer
+	children []*Directory
+}
+
+// NewDirectory creates a variable directory accepting values of typ.
+func NewDirectory(name string, typ ValueType) *Directory {
+	return &Directory{name: name, typ: typ}
+}
+
+// NewConstant creates a directory pinned to a single value.
+func NewConstant(name string, value interface{}) *Directory {
+	return &Directory{name: name, typ: TypeConstant, constant: value}
+}
+
+// NewInterned creates a string-valued directory whose values are converted
+// to small integers via the directory layer, keeping row keys short.
+func NewInterned(name string) *Directory {
+	return &Directory{name: name, typ: TypeString, interned: true}
+}
+
+// Add attaches child directories, returning the receiver for chaining.
+func (d *Directory) Add(children ...*Directory) *Directory {
+	d.children = append(d.children, children...)
+	return d
+}
+
+// Name returns the directory's logical name.
+func (d *Directory) Name() string { return d.name }
+
+// KeySpace is the root of a logical directory tree.
+type KeySpace struct {
+	root  *Directory
+	layer *directory.Layer
+}
+
+// New validates the tree and returns a KeySpace. The directory layer is used
+// for interned directories; pass nil if none are interned.
+func New(layer *directory.Layer, children ...*Directory) (*KeySpace, error) {
+	root := &Directory{name: "/", children: children}
+	if err := validate(root); err != nil {
+		return nil, err
+	}
+	return &KeySpace{root: root, layer: layer}, nil
+}
+
+// validate enforces the non-overlap rules: sibling names unique; at most one
+// variable directory per value type among siblings; constant siblings of the
+// same tuple type must hold distinct values (otherwise two paths could
+// compile to the same key prefix).
+func validate(d *Directory) error {
+	names := map[string]bool{}
+	varTypes := map[ValueType]string{}
+	constVals := map[string]string{}
+	for _, c := range d.children {
+		if names[c.name] {
+			return fmt.Errorf("keyspace: duplicate directory name %q under %q", c.name, d.name)
+		}
+		names[c.name] = true
+		if c.typ == TypeConstant {
+			key := fmt.Sprintf("%T:%v", c.constant, c.constant)
+			if prev, ok := constVals[key]; ok {
+				return fmt.Errorf("keyspace: directories %q and %q under %q share constant value %v",
+					prev, c.name, d.name, c.constant)
+			}
+			constVals[key] = c.name
+		} else {
+			t := c.typ
+			if c.interned {
+				t = TypeInt64 // interned strings occupy the integer domain
+			}
+			if prev, ok := varTypes[t]; ok {
+				return fmt.Errorf("keyspace: directories %q and %q under %q both accept %v values",
+					prev, c.name, d.name, t)
+			}
+			varTypes[t] = c.name
+		}
+		if err := validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PathElement pairs a directory name with the value chosen for it.
+type PathElement struct {
+	Name  string
+	Value interface{}
+}
+
+// Path is a location in the tree: a sequence of (directory, value) pairs.
+type Path struct {
+	ks    *KeySpace
+	elems []PathElement
+	dirs  []*Directory
+}
+
+// Path starts a path at a root-level directory. For constant directories the
+// value must be omitted (pass nothing); for variable directories exactly one
+// value is required.
+func (ks *KeySpace) Path(name string, value ...interface{}) (Path, error) {
+	return Path{ks: ks}.Add(name, value...)
+}
+
+// MustPath is Path but panics on error; for statically known trees.
+func (ks *KeySpace) MustPath(name string, value ...interface{}) Path {
+	p, err := ks.Path(name, value...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Add extends the path one level down.
+func (p Path) Add(name string, value ...interface{}) (Path, error) {
+	parent := p.ks.root
+	if len(p.dirs) > 0 {
+		parent = p.dirs[len(p.dirs)-1]
+	}
+	var dir *Directory
+	for _, c := range parent.children {
+		if c.name == name {
+			dir = c
+			break
+		}
+	}
+	if dir == nil {
+		return Path{}, fmt.Errorf("keyspace: no directory %q under %q", name, parent.name)
+	}
+	var v interface{}
+	switch dir.typ {
+	case TypeConstant:
+		if len(value) != 0 {
+			return Path{}, fmt.Errorf("keyspace: directory %q is constant; no value allowed", name)
+		}
+		v = dir.constant
+	default:
+		if len(value) != 1 {
+			return Path{}, fmt.Errorf("keyspace: directory %q requires exactly one value", name)
+		}
+		v = normalize(value[0])
+		if err := checkType(dir, v); err != nil {
+			return Path{}, err
+		}
+	}
+	np := Path{ks: p.ks}
+	np.elems = append(append([]PathElement(nil), p.elems...), PathElement{Name: name, Value: v})
+	np.dirs = append(append([]*Directory(nil), p.dirs...), dir)
+	return np, nil
+}
+
+// MustAdd is Add but panics on error.
+func (p Path) MustAdd(name string, value ...interface{}) Path {
+	np, err := p.Add(name, value...)
+	if err != nil {
+		panic(err)
+	}
+	return np
+}
+
+func normalize(v interface{}) interface{} {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	}
+	return v
+}
+
+func checkType(d *Directory, v interface{}) error {
+	ok := false
+	switch d.typ {
+	case TypeString:
+		_, ok = v.(string)
+	case TypeInt64:
+		_, ok = v.(int64)
+	case TypeBytes:
+		_, ok = v.([]byte)
+	case TypeUUID:
+		_, ok = v.(tuple.UUID)
+	}
+	if !ok {
+		return fmt.Errorf("keyspace: directory %q requires a %v value, got %T", d.name, d.typ, v)
+	}
+	return nil
+}
+
+// Elements returns the path's logical (name, value) pairs.
+func (p Path) Elements() []PathElement { return p.elems }
+
+// ToTuple compiles the path to its row-key tuple, resolving interned values
+// through the directory layer (creating entries as needed).
+func (p Path) ToTuple(tr *fdb.Transaction) (tuple.Tuple, error) {
+	out := make(tuple.Tuple, len(p.elems))
+	for i, e := range p.elems {
+		d := p.dirs[i]
+		if d.interned {
+			if p.ks.layer == nil {
+				return nil, fmt.Errorf("keyspace: directory %q is interned but no directory layer configured", d.name)
+			}
+			id, err := p.ks.layer.Intern(tr, e.Value.(string))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = id
+			continue
+		}
+		out[i] = e.Value
+	}
+	return out, nil
+}
+
+// ToSubspace compiles the path to the subspace rooted at its tuple.
+func (p Path) ToSubspace(tr *fdb.Transaction) (subspace.Subspace, error) {
+	t, err := p.ToTuple(tr)
+	if err != nil {
+		return subspace.Subspace{}, err
+	}
+	return subspace.FromTuple(t), nil
+}
+
+// String renders the path like a filesystem path for diagnostics.
+func (p Path) String() string {
+	s := ""
+	for _, e := range p.elems {
+		s += fmt.Sprintf("/%s:%v", e.Name, e.Value)
+	}
+	if s == "" {
+		return "/"
+	}
+	return s
+}

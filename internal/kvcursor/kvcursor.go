@@ -1,0 +1,116 @@
+// Package kvcursor adapts FoundationDB range reads to the streaming cursor
+// model: a resumable cursor over a key range with resource-limit accounting.
+// Its continuation is simply the last key returned, so any stateless server
+// can resume the scan (§3.1).
+package kvcursor
+
+import (
+	"bytes"
+
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+)
+
+// Options controls a range scan.
+type Options struct {
+	// Reverse scans in descending key order.
+	Reverse bool
+	// Snapshot performs snapshot reads (no read conflicts).
+	Snapshot bool
+	// Limiter enforces out-of-band resource limits (may be nil).
+	Limiter *cursor.Limiter
+	// Continuation resumes after a previously returned key.
+	Continuation []byte
+	// BatchSize bounds each underlying GetRange (default 128).
+	BatchSize int
+}
+
+type kvCursor struct {
+	tr         *fdb.Transaction
+	begin, end []byte
+	opts       Options
+	buf        []fdb.KeyValue
+	bufPos     int
+	more       bool
+	started    bool
+	lastKey    []byte
+	halted     *cursor.Result[fdb.KeyValue]
+}
+
+// New creates a cursor over [begin, end).
+func New(tr *fdb.Transaction, begin, end []byte, opts Options) cursor.Cursor[fdb.KeyValue] {
+	c := &kvCursor{tr: tr, begin: append([]byte(nil), begin...), end: append([]byte(nil), end...), opts: opts}
+	if opts.BatchSize <= 0 {
+		c.opts.BatchSize = 128
+	}
+	if len(opts.Continuation) > 0 {
+		// The continuation is the last key previously returned.
+		if !opts.Reverse {
+			c.begin = fdb.KeyAfter(opts.Continuation)
+		} else {
+			c.end = append([]byte(nil), opts.Continuation...)
+		}
+	}
+	return c
+}
+
+func (c *kvCursor) fill() error {
+	ro := fdb.RangeOptions{Limit: c.opts.BatchSize, Reverse: c.opts.Reverse}
+	var kvs []fdb.KeyValue
+	var more bool
+	var err error
+	if c.opts.Snapshot {
+		kvs, more, err = c.tr.Snapshot().GetRange(c.begin, c.end, ro)
+	} else {
+		kvs, more, err = c.tr.GetRange(c.begin, c.end, ro)
+	}
+	if err != nil {
+		return err
+	}
+	c.buf, c.bufPos, c.more, c.started = kvs, 0, more, true
+	if len(kvs) > 0 {
+		last := kvs[len(kvs)-1].Key
+		if !c.opts.Reverse {
+			c.begin = fdb.KeyAfter(last)
+		} else {
+			c.end = append([]byte(nil), last...)
+		}
+	}
+	return nil
+}
+
+// Next implements cursor.Cursor.
+func (c *kvCursor) Next() (cursor.Result[fdb.KeyValue], error) {
+	if c.halted != nil {
+		return *c.halted, nil
+	}
+	if c.bufPos >= len(c.buf) {
+		if c.started && !c.more {
+			h := cursor.Result[fdb.KeyValue]{OK: false, Reason: cursor.SourceExhausted}
+			c.halted = &h
+			return h, nil
+		}
+		if bytes.Compare(c.begin, c.end) >= 0 {
+			h := cursor.Result[fdb.KeyValue]{OK: false, Reason: cursor.SourceExhausted}
+			c.halted = &h
+			return h, nil
+		}
+		if err := c.fill(); err != nil {
+			return cursor.Result[fdb.KeyValue]{}, err
+		}
+		if len(c.buf) == 0 {
+			h := cursor.Result[fdb.KeyValue]{OK: false, Reason: cursor.SourceExhausted}
+			c.halted = &h
+			return h, nil
+		}
+	}
+	kv := c.buf[c.bufPos]
+	if reason, ok := c.opts.Limiter.TryRecord(len(kv.Key) + len(kv.Value)); !ok {
+		h := cursor.Result[fdb.KeyValue]{OK: false, Reason: reason, Continuation: c.lastKey}
+		c.halted = &h
+		return h, nil
+	}
+	c.bufPos++
+	c.lastKey = append([]byte(nil), kv.Key...)
+	return cursor.Result[fdb.KeyValue]{Value: kv, OK: true, Continuation: c.lastKey}, nil
+}

@@ -1,0 +1,270 @@
+package message
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Message is a dynamic protobuf message: typed field values plus any unknown
+// fields carried through from the wire (preserving data written by newer
+// schema versions, §5).
+type Message struct {
+	desc    *Descriptor
+	values  map[int32]interface{} // canonical scalar or []interface{} for repeated
+	unknown []unknownField
+}
+
+type unknownField struct {
+	number   int32
+	wireType int
+	raw      []byte // payload only; tag re-synthesized on marshal
+}
+
+// New creates an empty message of the given type.
+func New(desc *Descriptor) *Message {
+	return &Message{desc: desc, values: make(map[int32]interface{})}
+}
+
+// Descriptor returns the message's type.
+func (m *Message) Descriptor() *Descriptor { return m.desc }
+
+// canonicalize converts accepted Go values to the canonical representation
+// for a field type, or reports a type error.
+func canonicalize(f *FieldDescriptor, v interface{}) (interface{}, error) {
+	switch f.Type {
+	case TypeInt64, TypeInt32, TypeEnum:
+		switch x := v.(type) {
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		}
+	case TypeUint64:
+		switch x := v.(type) {
+		case uint64:
+			return x, nil
+		case uint:
+			return uint64(x), nil
+		case int:
+			if x >= 0 {
+				return uint64(x), nil
+			}
+		}
+	case TypeBool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	case TypeDouble:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		}
+	case TypeFloat:
+		switch x := v.(type) {
+		case float32:
+			return x, nil
+		case float64:
+			return float32(x), nil
+		}
+	case TypeString:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case TypeBytes:
+		if x, ok := v.([]byte); ok {
+			return append([]byte(nil), x...), nil
+		}
+	case TypeMessage:
+		if x, ok := v.(*Message); ok {
+			if f.messageType != nil && x.desc != f.messageType && x.desc.Name != f.MessageTypeName {
+				return nil, fmt.Errorf("message: field %s expects %s, got %s", f.Name, f.MessageTypeName, x.desc.Name)
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("message: field %s (%v) cannot hold %T", f.Name, f.Type, v)
+}
+
+// Set assigns a scalar field or replaces a repeated field with a single
+// element slice when given a []interface{}.
+func (m *Message) Set(name string, v interface{}) error {
+	f, ok := m.desc.FieldByName(name)
+	if !ok {
+		return fmt.Errorf("message %s: no field %s", m.desc.Name, name)
+	}
+	if f.Repeated {
+		vs, ok := v.([]interface{})
+		if !ok {
+			return fmt.Errorf("message %s: field %s is repeated; use Add or pass []interface{}", m.desc.Name, name)
+		}
+		out := make([]interface{}, 0, len(vs))
+		for _, e := range vs {
+			c, err := canonicalize(f, e)
+			if err != nil {
+				return err
+			}
+			out = append(out, c)
+		}
+		m.values[f.Number] = out
+		return nil
+	}
+	c, err := canonicalize(f, v)
+	if err != nil {
+		return err
+	}
+	m.values[f.Number] = c
+	return nil
+}
+
+// MustSet is Set for values known to be type-correct.
+func (m *Message) MustSet(name string, v interface{}) *Message {
+	if err := m.Set(name, v); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Add appends a value to a repeated field.
+func (m *Message) Add(name string, v interface{}) error {
+	f, ok := m.desc.FieldByName(name)
+	if !ok {
+		return fmt.Errorf("message %s: no field %s", m.desc.Name, name)
+	}
+	if !f.Repeated {
+		return fmt.Errorf("message %s: field %s is not repeated", m.desc.Name, name)
+	}
+	c, err := canonicalize(f, v)
+	if err != nil {
+		return err
+	}
+	cur, _ := m.values[f.Number].([]interface{})
+	m.values[f.Number] = append(cur, c)
+	return nil
+}
+
+// MustAdd is Add for values known to be type-correct.
+func (m *Message) MustAdd(name string, v interface{}) *Message {
+	if err := m.Add(name, v); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Get returns a field's value and whether it is set. Repeated fields return
+// []interface{}. Unset fields return (nil, false) — the paper's "new fields
+// appear as uninitialized in old records".
+func (m *Message) Get(name string) (interface{}, bool) {
+	f, ok := m.desc.FieldByName(name)
+	if !ok {
+		return nil, false
+	}
+	v, ok := m.values[f.Number]
+	return v, ok
+}
+
+// GetMessage returns a nested message field, or nil if unset.
+func (m *Message) GetMessage(name string) *Message {
+	v, ok := m.Get(name)
+	if !ok {
+		return nil
+	}
+	sub, _ := v.(*Message)
+	return sub
+}
+
+// GetRepeated returns the elements of a repeated field (possibly empty).
+func (m *Message) GetRepeated(name string) []interface{} {
+	v, ok := m.Get(name)
+	if !ok {
+		return nil
+	}
+	vs, _ := v.([]interface{})
+	return vs
+}
+
+// Has reports whether the field is explicitly set.
+func (m *Message) Has(name string) bool {
+	_, ok := m.Get(name)
+	return ok
+}
+
+// ClearField unsets a field.
+func (m *Message) ClearField(name string) {
+	if f, ok := m.desc.FieldByName(name); ok {
+		delete(m.values, f.Number)
+	}
+}
+
+// UnknownFieldCount returns how many unknown wire fields the message carries.
+func (m *Message) UnknownFieldCount() int { return len(m.unknown) }
+
+// Clone deep-copies the message.
+func (m *Message) Clone() *Message {
+	out := New(m.desc)
+	for num, v := range m.values {
+		switch x := v.(type) {
+		case *Message:
+			out.values[num] = x.Clone()
+		case []byte:
+			out.values[num] = append([]byte(nil), x...)
+		case []interface{}:
+			cp := make([]interface{}, len(x))
+			for i, e := range x {
+				switch ee := e.(type) {
+				case *Message:
+					cp[i] = ee.Clone()
+				case []byte:
+					cp[i] = append([]byte(nil), ee...)
+				default:
+					cp[i] = ee
+				}
+			}
+			out.values[num] = cp
+		default:
+			out.values[num] = v
+		}
+	}
+	out.unknown = append([]unknownField(nil), m.unknown...)
+	return out
+}
+
+// Equal compares two messages by wire encoding (descriptor-aware comparison
+// of set fields, including unknowns).
+func Equal(a, b *Message) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ab, err1 := a.Marshal()
+	bb, err2 := b.Marshal()
+	return err1 == nil && err2 == nil && string(ab) == string(bb)
+}
+
+// String renders the message for debugging.
+func (m *Message) String() string {
+	var sb strings.Builder
+	sb.WriteString(m.desc.Name)
+	sb.WriteByte('{')
+	first := true
+	for _, f := range m.desc.Fields() {
+		v, ok := m.values[f.Number]
+		if !ok {
+			continue
+		}
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s: %v", f.Name, v)
+	}
+	if len(m.unknown) > 0 {
+		fmt.Fprintf(&sb, " +%d unknown", len(m.unknown))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,356 @@
+package message
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// exampleDescriptor builds the paper's Figure 4 Example message:
+//
+//	message Example {
+//	  message Nested { optional int64 a = 1; optional string b = 2; }
+//	  optional int64 id = 1;
+//	  repeated string elem = 2;
+//	  optional Nested parent = 3;
+//	}
+func exampleDescriptor(t testing.TB) (*Descriptor, *Descriptor) {
+	t.Helper()
+	nested := MustDescriptor("Example.Nested",
+		Field("a", 1, TypeInt64),
+		Field("b", 2, TypeString),
+	)
+	example := MustDescriptor("Example",
+		Field("id", 1, TypeInt64),
+		RepeatedField("elem", 2, TypeString),
+		MessageField("parent", 3, nested),
+	)
+	return example, nested
+}
+
+// figure4 constructs the paper's example record: id=1066,
+// elem=["first","second","third"], parent={a:1415, b:"child"}.
+func figure4(t testing.TB) *Message {
+	ex, nested := exampleDescriptor(t)
+	p := New(nested).MustSet("a", int64(1415)).MustSet("b", "child")
+	return New(ex).
+		MustSet("id", int64(1066)).
+		MustAdd("elem", "first").
+		MustAdd("elem", "second").
+		MustAdd("elem", "third").
+		MustSet("parent", p)
+}
+
+func TestSetGet(t *testing.T) {
+	m := figure4(t)
+	if v, ok := m.Get("id"); !ok || v.(int64) != 1066 {
+		t.Fatalf("id: %v %v", v, ok)
+	}
+	elems := m.GetRepeated("elem")
+	if len(elems) != 3 || elems[1].(string) != "second" {
+		t.Fatalf("elem: %v", elems)
+	}
+	if p := m.GetMessage("parent"); p == nil {
+		t.Fatal("parent unset")
+	} else if v, _ := p.Get("a"); v.(int64) != 1415 {
+		t.Fatalf("parent.a: %v", v)
+	}
+}
+
+func TestUnsetFieldsAppearUninitialized(t *testing.T) {
+	ex, _ := exampleDescriptor(t)
+	m := New(ex)
+	if _, ok := m.Get("id"); ok {
+		t.Fatal("unset field reported as set")
+	}
+	if m.Has("parent") {
+		t.Fatal("unset message field reported as set")
+	}
+	if m.GetRepeated("elem") != nil {
+		t.Fatal("unset repeated field should be empty")
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	ex, _ := exampleDescriptor(t)
+	m := New(ex)
+	if err := m.Set("id", "not-an-int"); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if err := m.Set("elem", "scalar-into-repeated"); err == nil {
+		t.Fatal("scalar set of repeated field accepted")
+	}
+	if err := m.Add("id", int64(1)); err == nil {
+		t.Fatal("Add on scalar field accepted")
+	}
+	if err := m.Set("nope", int64(1)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := figure4(t)
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(m.Descriptor(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(m, got) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", m, got)
+	}
+	if v, _ := got.Get("id"); v.(int64) != 1066 {
+		t.Fatalf("id after round trip: %v", v)
+	}
+	if p := got.GetMessage("parent"); p == nil {
+		t.Fatal("nested message lost")
+	} else if v, _ := p.Get("b"); v.(string) != "child" {
+		t.Fatalf("nested string: %v", v)
+	}
+}
+
+func TestNegativeIntEncoding(t *testing.T) {
+	d := MustDescriptor("M", Field("v", 1, TypeInt64))
+	m := New(d).MustSet("v", int64(-42))
+	data, _ := m.Marshal()
+	got, err := Unmarshal(d, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Get("v"); v.(int64) != -42 {
+		t.Fatalf("negative round trip: %v", v)
+	}
+}
+
+func TestAllScalarTypes(t *testing.T) {
+	d := MustDescriptor("AllTypes",
+		Field("i64", 1, TypeInt64),
+		Field("i32", 2, TypeInt32),
+		Field("u64", 3, TypeUint64),
+		Field("b", 4, TypeBool),
+		Field("e", 5, TypeEnum),
+		Field("d", 6, TypeDouble),
+		Field("f", 7, TypeFloat),
+		Field("s", 8, TypeString),
+		Field("by", 9, TypeBytes),
+	)
+	m := New(d).
+		MustSet("i64", int64(math.MaxInt64)).
+		MustSet("i32", int64(-7)).
+		MustSet("u64", uint64(math.MaxUint64)).
+		MustSet("b", true).
+		MustSet("e", int64(3)).
+		MustSet("d", 2.5).
+		MustSet("f", float32(1.25)).
+		MustSet("s", "hello").
+		MustSet("by", []byte{0, 1, 2})
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(d, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		want interface{}
+	}{
+		{"i64", int64(math.MaxInt64)}, {"i32", int64(-7)}, {"u64", uint64(math.MaxUint64)},
+		{"b", true}, {"e", int64(3)}, {"d", 2.5}, {"f", float32(1.25)}, {"s", "hello"},
+	}
+	for _, c := range checks {
+		if v, ok := got.Get(c.name); !ok || v != c.want {
+			t.Errorf("%s: got %v want %v", c.name, v, c.want)
+		}
+	}
+	if v, _ := got.Get("by"); !bytes.Equal(v.([]byte), []byte{0, 1, 2}) {
+		t.Error("bytes mismatch")
+	}
+}
+
+func TestUnknownFieldPreservation(t *testing.T) {
+	// Encode with a "new" schema, decode with an "old" one missing field 2,
+	// re-encode, and decode with the new schema again: the new field must
+	// survive — the schema evolution property of §5.
+	newSchema := MustDescriptor("Rec",
+		Field("id", 1, TypeInt64),
+		Field("added_later", 2, TypeString),
+	)
+	oldSchema := MustDescriptor("Rec",
+		Field("id", 1, TypeInt64),
+	)
+	orig := New(newSchema).MustSet("id", int64(5)).MustSet("added_later", "precious")
+	data, _ := orig.Marshal()
+
+	viaOld, err := Unmarshal(oldSchema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOld.UnknownFieldCount() != 1 {
+		t.Fatalf("unknown fields: %d", viaOld.UnknownFieldCount())
+	}
+	reencoded, _ := viaOld.Marshal()
+	back, err := Unmarshal(newSchema, reencoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Get("added_later"); !ok || v.(string) != "precious" {
+		t.Fatalf("unknown field lost: %v %v", v, ok)
+	}
+}
+
+func TestNewFieldsUninitializedInOldRecords(t *testing.T) {
+	oldSchema := MustDescriptor("Rec", Field("id", 1, TypeInt64))
+	newSchema := MustDescriptor("Rec",
+		Field("id", 1, TypeInt64),
+		Field("later", 2, TypeString),
+	)
+	data, _ := New(oldSchema).MustSet("id", int64(1)).Marshal()
+	got, err := Unmarshal(newSchema, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Has("later") {
+		t.Fatal("field absent on the wire reported as set")
+	}
+}
+
+func TestPackedRepeatedDecode(t *testing.T) {
+	// Hand-encode a packed repeated int64 field (field 1, wire type 2).
+	payload := []byte{0x0A, 3, 1, 2, 3}
+	d := MustDescriptor("P", RepeatedField("v", 1, TypeInt64))
+	got, err := Unmarshal(d, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := got.GetRepeated("v")
+	if len(vs) != 3 || vs[0].(int64) != 1 || vs[2].(int64) != 3 {
+		t.Fatalf("packed decode: %v", vs)
+	}
+}
+
+func TestRepeatedMessages(t *testing.T) {
+	item := MustDescriptor("Item", Field("n", 1, TypeInt64))
+	d := MustDescriptor("List", RepeatedMessageField("items", 1, item))
+	m := New(d)
+	for i := 1; i <= 3; i++ {
+		m.MustAdd("items", New(item).MustSet("n", int64(i)))
+	}
+	data, _ := m.Marshal()
+	got, err := Unmarshal(d, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := got.GetRepeated("items")
+	if len(items) != 3 {
+		t.Fatalf("items: %d", len(items))
+	}
+	if v, _ := items[2].(*Message).Get("n"); v.(int64) != 3 {
+		t.Fatalf("items[2].n: %v", v)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := figure4(t)
+	c := m.Clone()
+	c.MustSet("id", int64(999))
+	c.GetMessage("parent").MustSet("a", int64(0))
+	if v, _ := m.Get("id"); v.(int64) != 1066 {
+		t.Fatal("clone aliases scalar")
+	}
+	if v, _ := m.GetMessage("parent").Get("a"); v.(int64) != 1415 {
+		t.Fatal("clone aliases nested message")
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	if _, err := NewDescriptor("D", Field("a", 1, TypeInt64), Field("a", 2, TypeInt64)); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := NewDescriptor("D", Field("a", 1, TypeInt64), Field("b", 1, TypeInt64)); err == nil {
+		t.Fatal("duplicate numbers accepted")
+	}
+	if _, err := NewDescriptor("D", Field("a", 0, TypeInt64)); err == nil {
+		t.Fatal("field number 0 accepted")
+	}
+	if _, err := NewDescriptor(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	ex, nested := exampleDescriptor(t)
+	r := NewRegistry()
+	if err := r.Add(nested); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(ex); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := UnmarshalRegistry(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, ok := r2.Lookup("Example")
+	if !ok {
+		t.Fatal("Example missing after round trip")
+	}
+	// The reconstructed descriptor must decode data written by the original.
+	data, _ := figure4(t).Marshal()
+	got, err := Unmarshal(ex2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.GetMessage("parent"); p == nil {
+		t.Fatal("nested type not relinked after registry round trip")
+	} else if v, _ := p.Get("a"); v.(int64) != 1415 {
+		t.Fatalf("nested value: %v", v)
+	}
+}
+
+func TestRegistryOutOfOrderLinking(t *testing.T) {
+	// Add the referencing type before the referenced type.
+	outer := MustDescriptor("Outer", &FieldDescriptor{
+		Name: "inner", Number: 1, Type: TypeMessage, MessageTypeName: "Inner",
+	})
+	inner := MustDescriptor("Inner", Field("x", 1, TypeInt64))
+	r := NewRegistry()
+	if err := r.Add(outer); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err == nil {
+		t.Fatal("dangling reference should fail validation")
+	}
+	if err := r.Add(inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := outer.FieldByName("inner")
+	if f.MessageType() != inner {
+		t.Fatal("late linking failed")
+	}
+}
+
+func TestTruncatedWireData(t *testing.T) {
+	d := MustDescriptor("M", Field("s", 1, TypeString))
+	bad := [][]byte{
+		{0x0A},          // tag then nothing
+		{0x0A, 5, 'a'},  // length longer than data
+		{0x08},          // varint field, no payload
+		{0x09, 1, 2, 3}, // fixed64 truncated
+	}
+	for _, b := range bad {
+		if _, err := Unmarshal(d, b); err == nil {
+			t.Errorf("Unmarshal(%x) should fail", b)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package message
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Registry holds a set of message descriptors and resolves nested-message
+// type references by name, playing the role of a protobuf file descriptor
+// set. Record Layer metadata persists a serialized Registry so that every
+// stateless instance interprets records identically (§5, §10.2).
+type Registry struct {
+	messages map[string]*Descriptor
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{messages: make(map[string]*Descriptor)}
+}
+
+// Add registers a descriptor and links any message-typed fields (in it and
+// in previously added descriptors) whose type names are now resolvable.
+func (r *Registry) Add(d *Descriptor) error {
+	if _, dup := r.messages[d.Name]; dup {
+		return fmt.Errorf("message: duplicate message type %s", d.Name)
+	}
+	r.messages[d.Name] = d
+	r.order = append(r.order, d.Name)
+	return r.link()
+}
+
+func (r *Registry) link() error {
+	for _, name := range r.order {
+		for _, f := range r.messages[name].Fields() {
+			if f.Type == TypeMessage && f.messageType == nil {
+				if sub, ok := r.messages[f.MessageTypeName]; ok {
+					f.messageType = sub
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Validate reports an error if any message field remains unresolved.
+func (r *Registry) Validate() error {
+	for _, name := range r.order {
+		for _, f := range r.messages[name].Fields() {
+			if f.Type == TypeMessage && f.messageType == nil {
+				return fmt.Errorf("message %s: field %s references unknown type %s", name, f.Name, f.MessageTypeName)
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup finds a descriptor by message type name.
+func (r *Registry) Lookup(name string) (*Descriptor, bool) {
+	d, ok := r.messages[name]
+	return d, ok
+}
+
+// Names returns the registered type names in registration order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// jsonField / jsonMessage are the persisted form of descriptors.
+type jsonField struct {
+	Name        string `json:"name"`
+	Number      int32  `json:"number"`
+	Type        string `json:"type"`
+	Repeated    bool   `json:"repeated,omitempty"`
+	MessageType string `json:"message_type,omitempty"`
+}
+
+type jsonMessage struct {
+	Name   string      `json:"name"`
+	Fields []jsonField `json:"fields"`
+}
+
+var typeByName = func() map[string]FieldType {
+	m := make(map[string]FieldType, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// MarshalBinary serializes the registry for storage in a metadata store.
+func (r *Registry) MarshalBinary() ([]byte, error) {
+	out := make([]jsonMessage, 0, len(r.order))
+	for _, name := range r.order {
+		d := r.messages[name]
+		jm := jsonMessage{Name: d.Name}
+		for _, f := range d.Fields() {
+			jm.Fields = append(jm.Fields, jsonField{
+				Name: f.Name, Number: f.Number, Type: f.Type.String(),
+				Repeated: f.Repeated, MessageType: f.MessageTypeName,
+			})
+		}
+		out = append(out, jm)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalRegistry reconstructs a registry from MarshalBinary output and
+// links all nested type references.
+func UnmarshalRegistry(data []byte) (*Registry, error) {
+	var in []jsonMessage
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("message: corrupt registry: %v", err)
+	}
+	r := NewRegistry()
+	for _, jm := range in {
+		fields := make([]*FieldDescriptor, 0, len(jm.Fields))
+		for _, jf := range jm.Fields {
+			t, ok := typeByName[jf.Type]
+			if !ok {
+				return nil, fmt.Errorf("message %s: unknown field type %q", jm.Name, jf.Type)
+			}
+			fields = append(fields, &FieldDescriptor{
+				Name: jf.Name, Number: jf.Number, Type: t,
+				Repeated: jf.Repeated, MessageTypeName: jf.MessageType,
+			})
+		}
+		d, err := NewDescriptor(jm.Name, fields...)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,281 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+func appendVarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendTag(b []byte, number int32, wt int) []byte {
+	return appendVarint(b, uint64(number)<<3|uint64(wt))
+}
+
+// Marshal encodes the message in protobuf wire format. Known fields are
+// emitted in field-number order, then unknown fields in their original order
+// (preserving data written by newer schemata, §5).
+func (m *Message) Marshal() ([]byte, error) {
+	return m.appendTo(nil)
+}
+
+func (m *Message) appendTo(b []byte) ([]byte, error) {
+	nums := make([]int32, 0, len(m.values))
+	for n := range m.values {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, n := range nums {
+		f, _ := m.desc.FieldByNumber(n)
+		v := m.values[n]
+		if f.Repeated {
+			for _, e := range v.([]interface{}) {
+				var err error
+				b, err = appendField(b, f, e)
+				if err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		var err error
+		b, err = appendField(b, f, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range m.unknown {
+		b = appendTag(b, u.number, u.wireType)
+		if u.wireType == wireBytes {
+			b = appendVarint(b, uint64(len(u.raw)))
+		}
+		b = append(b, u.raw...)
+	}
+	return b, nil
+}
+
+func appendField(b []byte, f *FieldDescriptor, v interface{}) ([]byte, error) {
+	switch f.Type {
+	case TypeInt64, TypeInt32, TypeEnum:
+		b = appendTag(b, f.Number, wireVarint)
+		return appendVarint(b, uint64(v.(int64))), nil
+	case TypeUint64:
+		b = appendTag(b, f.Number, wireVarint)
+		return appendVarint(b, v.(uint64)), nil
+	case TypeBool:
+		b = appendTag(b, f.Number, wireVarint)
+		if v.(bool) {
+			return appendVarint(b, 1), nil
+		}
+		return appendVarint(b, 0), nil
+	case TypeDouble:
+		b = appendTag(b, f.Number, wireFixed64)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.(float64))), nil
+	case TypeFloat:
+		b = appendTag(b, f.Number, wireFixed32)
+		return binary.LittleEndian.AppendUint32(b, math.Float32bits(v.(float32))), nil
+	case TypeString:
+		b = appendTag(b, f.Number, wireBytes)
+		s := v.(string)
+		b = appendVarint(b, uint64(len(s)))
+		return append(b, s...), nil
+	case TypeBytes:
+		b = appendTag(b, f.Number, wireBytes)
+		p := v.([]byte)
+		b = appendVarint(b, uint64(len(p)))
+		return append(b, p...), nil
+	case TypeMessage:
+		sub, err := v.(*Message).Marshal()
+		if err != nil {
+			return nil, err
+		}
+		b = appendTag(b, f.Number, wireBytes)
+		b = appendVarint(b, uint64(len(sub)))
+		return append(b, sub...), nil
+	}
+	return nil, fmt.Errorf("message: cannot encode field %s of type %v", f.Name, f.Type)
+}
+
+// Unmarshal decodes protobuf wire data into a message of the given type.
+// Fields not present in the descriptor are preserved as unknown fields.
+func Unmarshal(desc *Descriptor, data []byte) (*Message, error) {
+	m := New(desc)
+	if err := m.merge(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Message) merge(data []byte) error {
+	for len(data) > 0 {
+		tag, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("message %s: bad tag varint", m.desc.Name)
+		}
+		data = data[n:]
+		number := int32(tag >> 3)
+		wt := int(tag & 7)
+		if number < 1 {
+			return fmt.Errorf("message %s: invalid field number %d", m.desc.Name, number)
+		}
+
+		payload, rest, err := consume(data, wt)
+		if err != nil {
+			return fmt.Errorf("message %s field %d: %v", m.desc.Name, number, err)
+		}
+		data = rest
+
+		f, known := m.desc.FieldByNumber(number)
+		if !known || !wireTypeMatches(f, wt) {
+			m.unknown = append(m.unknown, unknownField{number: number, wireType: wt, raw: payload})
+			continue
+		}
+		if f.Repeated && wt == wireBytes && isPackable(f.Type) {
+			// Packed repeated scalars: a length-delimited run of encodings.
+			if err := m.mergePacked(f, payload); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := decodeScalar(f, wt, payload)
+		if err != nil {
+			return fmt.Errorf("message %s field %s: %v", m.desc.Name, f.Name, err)
+		}
+		if f.Repeated {
+			cur, _ := m.values[f.Number].([]interface{})
+			m.values[f.Number] = append(cur, v)
+		} else {
+			m.values[f.Number] = v
+		}
+	}
+	return nil
+}
+
+// consume splits one field payload off the front of data. For varint the
+// payload is the varint's bytes; for fixed types the fixed width; for bytes
+// the content after the length prefix.
+func consume(data []byte, wt int) (payload, rest []byte, err error) {
+	switch wt {
+	case wireVarint:
+		_, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("bad varint")
+		}
+		return data[:n], data[n:], nil
+	case wireFixed64:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("truncated fixed64")
+		}
+		return data[:8], data[8:], nil
+	case wireFixed32:
+		if len(data) < 4 {
+			return nil, nil, fmt.Errorf("truncated fixed32")
+		}
+		return data[:4], data[4:], nil
+	case wireBytes:
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return nil, nil, fmt.Errorf("truncated length-delimited field")
+		}
+		return data[n : n+int(l)], data[n+int(l):], nil
+	default:
+		return nil, nil, fmt.Errorf("unsupported wire type %d", wt)
+	}
+}
+
+func wireTypeMatches(f *FieldDescriptor, wt int) bool {
+	switch f.Type {
+	case TypeInt64, TypeInt32, TypeUint64, TypeBool, TypeEnum:
+		return wt == wireVarint || (f.Repeated && wt == wireBytes)
+	case TypeDouble:
+		return wt == wireFixed64 || (f.Repeated && wt == wireBytes)
+	case TypeFloat:
+		return wt == wireFixed32 || (f.Repeated && wt == wireBytes)
+	case TypeString, TypeBytes, TypeMessage:
+		return wt == wireBytes
+	}
+	return false
+}
+
+func isPackable(t FieldType) bool {
+	switch t {
+	case TypeInt64, TypeInt32, TypeUint64, TypeBool, TypeEnum, TypeDouble, TypeFloat:
+		return true
+	}
+	return false
+}
+
+func (m *Message) mergePacked(f *FieldDescriptor, payload []byte) error {
+	cur, _ := m.values[f.Number].([]interface{})
+	for len(payload) > 0 {
+		var wt int
+		switch f.Type {
+		case TypeDouble:
+			wt = wireFixed64
+		case TypeFloat:
+			wt = wireFixed32
+		default:
+			wt = wireVarint
+		}
+		chunk, rest, err := consume(payload, wt)
+		if err != nil {
+			return fmt.Errorf("message %s field %s: packed: %v", m.desc.Name, f.Name, err)
+		}
+		payload = rest
+		v, err := decodeScalar(f, wt, chunk)
+		if err != nil {
+			return err
+		}
+		cur = append(cur, v)
+	}
+	m.values[f.Number] = cur
+	return nil
+}
+
+func decodeScalar(f *FieldDescriptor, wt int, payload []byte) (interface{}, error) {
+	switch f.Type {
+	case TypeInt64, TypeInt32, TypeEnum:
+		u, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad varint")
+		}
+		return int64(u), nil
+	case TypeUint64:
+		u, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad varint")
+		}
+		return u, nil
+	case TypeBool:
+		u, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad varint")
+		}
+		return u != 0, nil
+	case TypeDouble:
+		return math.Float64frombits(binary.LittleEndian.Uint64(payload)), nil
+	case TypeFloat:
+		return math.Float32frombits(binary.LittleEndian.Uint32(payload)), nil
+	case TypeString:
+		return string(payload), nil
+	case TypeBytes:
+		return append([]byte(nil), payload...), nil
+	case TypeMessage:
+		if f.messageType == nil {
+			return nil, fmt.Errorf("unresolved message type %s", f.MessageTypeName)
+		}
+		return Unmarshal(f.messageType, payload)
+	}
+	return nil, fmt.Errorf("unsupported type %v", f.Type)
+}

@@ -1,0 +1,93 @@
+package metadata
+
+import (
+	"fmt"
+
+	"recordlayer/internal/message"
+)
+
+// ValidateEvolution checks that next is a legal successor of prev under the
+// schema evolution rules of §5 and §10.2:
+//
+//   - the version strictly increases (single-stream, non-branching);
+//   - record types are never removed;
+//   - existing fields keep their numbers, names, types and labels (field
+//     numbers are never reused; deprecate rather than remove);
+//   - primary keys of existing types are unchanged (changing one would
+//     silently orphan existing records);
+//   - removed indexes are recorded as former indexes; index names are not
+//     reused;
+//   - an existing index's key expression changes only with a version bump.
+func ValidateEvolution(prev, next *MetaData) error {
+	if next.Version <= prev.Version {
+		return fmt.Errorf("metadata: version must increase: %d -> %d", prev.Version, next.Version)
+	}
+	for _, prt := range prev.RecordTypes() {
+		nrt, ok := next.RecordType(prt.Name)
+		if !ok {
+			return fmt.Errorf("metadata: record type %q removed; types may only be added", prt.Name)
+		}
+		if err := validateDescriptorEvolution(prt.Descriptor, nrt.Descriptor); err != nil {
+			return err
+		}
+		if prt.PrimaryKey.String() != nrt.PrimaryKey.String() {
+			return fmt.Errorf("metadata: record type %q primary key changed from %s to %s",
+				prt.Name, prt.PrimaryKey, nrt.PrimaryKey)
+		}
+		if prt.TypeKey() != nrt.TypeKey() {
+			return fmt.Errorf("metadata: record type %q type key changed", prt.Name)
+		}
+	}
+	for _, pix := range prev.Indexes() {
+		nix, ok := next.Index(pix.Name)
+		if !ok {
+			if _, former := next.FormerIndexes[pix.Name]; !former {
+				return fmt.Errorf("metadata: index %q removed without a former-index record", pix.Name)
+			}
+			continue
+		}
+		if nix.Type != pix.Type {
+			return fmt.Errorf("metadata: index %q changed type %s -> %s; drop and re-add instead",
+				pix.Name, pix.Type, nix.Type)
+		}
+		if nix.Expression.String() != pix.Expression.String() &&
+			nix.LastModifiedVersion <= prev.Version {
+			return fmt.Errorf("metadata: index %q redefined without bumping LastModifiedVersion", pix.Name)
+		}
+	}
+	for name, ver := range prev.FormerIndexes {
+		if _, ok := next.Index(name); ok {
+			return fmt.Errorf("metadata: former index name %q reused", name)
+		}
+		if _, ok := next.FormerIndexes[name]; !ok {
+			return fmt.Errorf("metadata: former index %q (removed at version %d) dropped from history", name, ver)
+		}
+	}
+	return nil
+}
+
+// validateDescriptorEvolution enforces the protobuf-inherited rules: fields
+// may be added but never removed, renumbered, renamed or retyped.
+func validateDescriptorEvolution(prev, next *message.Descriptor) error {
+	for _, pf := range prev.Fields() {
+		nf, ok := next.FieldByNumber(pf.Number)
+		if !ok {
+			return fmt.Errorf("metadata: %s field %s (#%d) removed; deprecate instead",
+				prev.Name, pf.Name, pf.Number)
+		}
+		if nf.Name != pf.Name {
+			return fmt.Errorf("metadata: %s field #%d renamed %s -> %s", prev.Name, pf.Number, pf.Name, nf.Name)
+		}
+		if nf.Type != pf.Type {
+			return fmt.Errorf("metadata: %s field %s changed type %v -> %v", prev.Name, pf.Name, pf.Type, nf.Type)
+		}
+		if nf.Repeated != pf.Repeated {
+			return fmt.Errorf("metadata: %s field %s changed label", prev.Name, pf.Name)
+		}
+		if pf.Type == message.TypeMessage && nf.MessageTypeName != pf.MessageTypeName {
+			return fmt.Errorf("metadata: %s field %s changed message type %s -> %s",
+				prev.Name, pf.Name, pf.MessageTypeName, nf.MessageTypeName)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package metadata
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// Store persists versioned metadata in the key-value store, in a keyspace
+// separate from record data so one schema serves millions of stores (§5).
+// Layout within the store's subspace:
+//
+//	("v", version) -> serialized MetaData
+//	("current")    -> current version
+type Store struct {
+	space subspace.Subspace
+}
+
+// NewStore creates a metadata store over the given subspace.
+func NewStore(space subspace.Subspace) *Store {
+	return &Store{space: space}
+}
+
+// Save persists md as the current metadata. The version must strictly
+// exceed any previously saved version; when a predecessor exists, evolution
+// rules are validated (§5).
+func (s *Store) Save(tr *fdb.Transaction, md *MetaData) error {
+	cur, err := s.CurrentVersion(tr)
+	if err != nil {
+		return err
+	}
+	if cur > 0 {
+		if md.Version <= cur {
+			return fmt.Errorf("metadata: store already at version %d; cannot save %d", cur, md.Version)
+		}
+		prev, err := s.Load(tr, cur)
+		if err != nil {
+			return err
+		}
+		if err := ValidateEvolution(prev, md); err != nil {
+			return err
+		}
+	}
+	blob, err := md.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := tr.Set(s.space.Pack(tuple.Tuple{"v", int64(md.Version)}), blob); err != nil {
+		return err
+	}
+	return tr.Set(s.space.Pack(tuple.Tuple{"current"}), tuple.Tuple{int64(md.Version)}.Pack())
+}
+
+// CurrentVersion returns the latest saved version, or 0 when empty.
+func (s *Store) CurrentVersion(tr *fdb.Transaction) (int, error) {
+	raw, err := tr.Get(s.space.Pack(tuple.Tuple{"current"}))
+	if err != nil || raw == nil {
+		return 0, err
+	}
+	t, err := tuple.Unpack(raw)
+	if err != nil {
+		return 0, err
+	}
+	return int(t[0].(int64)), nil
+}
+
+// Load retrieves a specific metadata version.
+func (s *Store) Load(tr *fdb.Transaction, version int) (*MetaData, error) {
+	raw, err := tr.Get(s.space.Pack(tuple.Tuple{"v", int64(version)}))
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, fmt.Errorf("metadata: version %d not found", version)
+	}
+	return Unmarshal(raw)
+}
+
+// LoadCurrent retrieves the latest metadata.
+func (s *Store) LoadCurrent(tr *fdb.Transaction) (*MetaData, error) {
+	v, err := s.CurrentVersion(tr)
+	if err != nil {
+		return nil, err
+	}
+	if v == 0 {
+		return nil, fmt.Errorf("metadata: store is empty")
+	}
+	return s.Load(tr, v)
+}
+
+// Cache is a client-side metadata cache (§5: "aggressively cached by clients
+// so that records can be interpreted without additional reads"). It is keyed
+// by metadata version; record stores consult it before reading the store.
+type Cache struct {
+	mu       sync.RWMutex
+	byVer    map[int]*MetaData
+	current  *MetaData
+	hits     atomic.Int64
+	misses   atomic.Int64
+	capacity int
+}
+
+// NewCache creates a cache holding up to capacity versions.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &Cache{byVer: make(map[int]*MetaData), capacity: capacity}
+}
+
+// Get returns the cached metadata at version, if present.
+func (c *Cache) Get(version int) (*MetaData, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	md, ok := c.byVer[version]
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return md, ok
+}
+
+// Current returns the newest metadata the cache has seen.
+func (c *Cache) Current() (*MetaData, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.current, c.current != nil
+}
+
+// Put inserts metadata into the cache.
+func (c *Cache) Put(md *MetaData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.byVer) >= c.capacity {
+		// Evict the oldest version; metadata versions only move forward.
+		oldest := -1
+		for v := range c.byVer {
+			if oldest < 0 || v < oldest {
+				oldest = v
+			}
+		}
+		delete(c.byVer, oldest)
+	}
+	c.byVer[md.Version] = md
+	if c.current == nil || md.Version > c.current.Version {
+		c.current = md
+	}
+}
+
+// Stats returns hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,324 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/query"
+)
+
+// This file implements the experimental Cascades-style planner of
+// Appendix C: a rule-based architecture over a tree-structured intermediate
+// representation holding both logical operations (a selection yet to be
+// implemented, a union of branches) and physical ones (executable Plans).
+// Rules match IR nodes and produce equivalent alternatives into the node's
+// group; groups play the role of a (single-level) Memo, and a simple cost
+// metric picks the winner — paving the way to a full cost-based optimizer.
+//
+// Rules are organized into phases ("it is better to scan part of an index
+// than to filter all records"): index-matching rules run first, and the
+// full-scan fallback only fires for groups with no physical alternative.
+// Clients register additional rules to plan custom index types, the
+// extensibility Appendix C emphasizes (e.g. a geospatial index).
+
+// RelExpr is a node of the planner IR: logical or physical.
+type RelExpr interface {
+	exprKind() string
+}
+
+// LogicalSelect is an unimplemented selection: find records of the given
+// types matching all conjuncts, optionally sorted.
+type LogicalSelect struct {
+	Query     query.RecordQuery
+	Conjuncts []*conjunct
+
+	// per-rule firing guards, preventing repeated expansion during the
+	// fixpoint loop (a stand-in for the Memo's rule bitmask).
+	matched     bool
+	intersected bool
+	scanned     bool
+	orExpanded  bool
+}
+
+func (*LogicalSelect) exprKind() string { return "logical-select" }
+
+// LogicalUnion is an unimplemented union of alternative selections.
+type LogicalUnion struct {
+	Branches    []*Group
+	implemented bool
+}
+
+func (*LogicalUnion) exprKind() string { return "logical-union" }
+
+// PhysicalExpr wraps an executable plan with its estimated cost.
+type PhysicalExpr struct {
+	Plan Plan
+	Cost float64
+}
+
+func (*PhysicalExpr) exprKind() string { return "physical" }
+
+// Group collects logically equivalent expressions — the Memo structure's
+// building block (Appendix C).
+type Group struct {
+	Exprs []RelExpr
+}
+
+// Best returns the cheapest physical expression in the group.
+func (g *Group) Best() (*PhysicalExpr, bool) {
+	var best *PhysicalExpr
+	for _, e := range g.Exprs {
+		if pe, ok := e.(*PhysicalExpr); ok {
+			if best == nil || pe.Cost < best.Cost {
+				best = pe
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// Rule transforms one expression into equivalent alternatives.
+type Rule interface {
+	// Name identifies the rule in diagnostics.
+	Name() string
+	// Apply returns new expressions for e's group (may be empty).
+	Apply(e RelExpr, p *CascadesPlanner) []RelExpr
+}
+
+// CascadesPlanner is the rule-driven planner.
+type CascadesPlanner struct {
+	md     *metadata.MetaData
+	helper *Planner // index-matching machinery shared with the heuristic planner
+	phases [][]Rule
+}
+
+// NewCascades builds the planner with the built-in rules; extraRules are
+// appended to the first phase, letting clients plug in planning for custom
+// index types.
+func NewCascades(md *metadata.MetaData, extraRules ...Rule) *CascadesPlanner {
+	p := &CascadesPlanner{md: md, helper: New(md, Config{})}
+	phase1 := []Rule{orToUnionRule{}, matchIndexRule{}, intersectionRule{}, implementUnionRule{}}
+	phase1 = append(phase1, extraRules...)
+	phase2 := []Rule{fullScanRule{}}
+	p.phases = [][]Rule{phase1, phase2}
+	return p
+}
+
+// Plan optimizes the query: build the root group, expand it with rules
+// phase by phase, and pick the cheapest physical expression.
+func (p *CascadesPlanner) Plan(q query.RecordQuery) (Plan, error) {
+	root := &Group{Exprs: []RelExpr{&LogicalSelect{Query: q, Conjuncts: splitConjuncts(q.Filter)}}}
+	if err := p.optimize(root); err != nil {
+		return nil, err
+	}
+	best, ok := root.Best()
+	if !ok {
+		return nil, fmt.Errorf("plan: no physical plan found for %s", q)
+	}
+	return best.Plan, nil
+}
+
+func (p *CascadesPlanner) optimize(g *Group) error {
+	for _, phase := range p.phases {
+		// Fixpoint expansion within the phase.
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < len(g.Exprs); i++ {
+				for _, r := range phase {
+					for _, ne := range r.Apply(g.Exprs[i], p) {
+						g.Exprs = append(g.Exprs, ne)
+						changed = true
+					}
+				}
+			}
+			// Recursively optimize child groups of logical unions.
+			for _, e := range g.Exprs {
+				if lu, ok := e.(*LogicalUnion); ok {
+					for _, b := range lu.Branches {
+						if _, done := b.Best(); !done {
+							if err := p.optimize(b); err != nil {
+								return err
+							}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if _, ok := g.Best(); ok {
+			break // a physical plan exists; later phases are fallbacks
+		}
+	}
+	return nil
+}
+
+// Cost model: coarse but sufficient to rank alternatives.
+const (
+	costFullScan  = 1_000_000.0
+	costIndexBase = 10_000.0
+)
+
+func indexScanCost(m *indexMatch) float64 {
+	c := costIndexBase
+	c /= math.Pow(10, float64(m.equalities))
+	if m.hasRange {
+		c /= 2
+	}
+	return c
+}
+
+func residualCost(n int) float64 { return float64(n) * 10 }
+
+// orToUnionRule rewrites a selection over an OR filter into a union of
+// selections, one per branch.
+type orToUnionRule struct{}
+
+func (orToUnionRule) Name() string { return "OrToUnion" }
+
+func (orToUnionRule) Apply(e RelExpr, p *CascadesPlanner) []RelExpr {
+	ls, ok := e.(*LogicalSelect)
+	if !ok || ls.Query.Sort != nil || ls.orExpanded {
+		return nil
+	}
+	or, ok := ls.Query.Filter.(*query.OrComponent)
+	if !ok {
+		return nil
+	}
+	ls.orExpanded = true
+	lu := &LogicalUnion{}
+	for _, branch := range or.Children {
+		bq := query.RecordQuery{RecordTypes: ls.Query.RecordTypes, Filter: branch}
+		lu.Branches = append(lu.Branches, &Group{Exprs: []RelExpr{
+			&LogicalSelect{Query: bq, Conjuncts: splitConjuncts(branch)},
+		}})
+	}
+	return []RelExpr{lu}
+}
+
+// matchIndexRule produces an index-scan physical plan (plus residual filter)
+// for every index matching the selection.
+type matchIndexRule struct{}
+
+func (matchIndexRule) Name() string { return "MatchValueIndex" }
+
+func (matchIndexRule) Apply(e RelExpr, p *CascadesPlanner) []RelExpr {
+	ls, ok := e.(*LogicalSelect)
+	if !ok || ls.matched {
+		return nil
+	}
+	ls.matched = true
+	if _, isOr := ls.Query.Filter.(*query.OrComponent); isOr {
+		return nil
+	}
+	var out []RelExpr
+	for _, ix := range p.md.Indexes() {
+		if ix.Type != metadata.IndexValue && ix.Type != metadata.IndexRank {
+			continue
+		}
+		if !indexCoversTypes(ix, ls.Query.RecordTypes, p.md) {
+			continue
+		}
+		m := p.helper.matchIndex(ix, ls.Query, ls.Conjuncts)
+		if m == nil || (m.equalities == 0 && !m.hasRange && !m.sortSatisfied) {
+			continue
+		}
+		cs := remaining(ls.Conjuncts, m)
+		plan := wrapResidual(m.plan, cs, m.fanOut)
+		out = append(out, &PhysicalExpr{
+			Plan: plan,
+			Cost: indexScanCost(m) + residualCost(countUnconsumed(cs)),
+		})
+	}
+	return out
+}
+
+// intersectionRule combines two disjoint fully-bound index matches.
+type intersectionRule struct{}
+
+func (intersectionRule) Name() string { return "AndToIntersection" }
+
+func (intersectionRule) Apply(e RelExpr, p *CascadesPlanner) []RelExpr {
+	ls, ok := e.(*LogicalSelect)
+	if !ok || ls.intersected || ls.Query.Sort != nil {
+		return nil
+	}
+	ls.intersected = true
+	if _, isOr := ls.Query.Filter.(*query.OrComponent); isOr {
+		return nil
+	}
+	first := p.helper.bestIndexMatch(ls.Query, ls.Conjuncts)
+	if first == nil || !first.plan.FullyBound {
+		return nil
+	}
+	rest := remaining(ls.Conjuncts, first)
+	second := p.helper.bestIndexMatch(ls.Query, rest)
+	if second == nil || !second.plan.FullyBound || second.plan.IndexName == first.plan.IndexName {
+		return nil
+	}
+	cs := remaining(rest, second)
+	inter := &IntersectionPlan{Children: []Plan{first.plan, second.plan}}
+	return []RelExpr{&PhysicalExpr{
+		Plan: wrapResidual(inter, cs, first.fanOut || second.fanOut),
+		Cost: indexScanCost(first) + indexScanCost(second) + residualCost(countUnconsumed(cs)),
+	}}
+}
+
+// implementUnionRule turns a logical union whose branches all have physical
+// winners into a physical union plan.
+type implementUnionRule struct{}
+
+func (implementUnionRule) Name() string { return "ImplementUnion" }
+
+func (implementUnionRule) Apply(e RelExpr, p *CascadesPlanner) []RelExpr {
+	lu, ok := e.(*LogicalUnion)
+	if !ok || lu.implemented {
+		return nil
+	}
+	children := make([]Plan, 0, len(lu.Branches))
+	total := 0.0
+	for _, b := range lu.Branches {
+		best, ok := b.Best()
+		if !ok {
+			return nil // branches not yet optimized; retry next pass
+		}
+		children = append(children, best.Plan)
+		total += best.Cost
+	}
+	lu.implemented = true
+	return []RelExpr{&PhysicalExpr{Plan: &UnionPlan{Children: children}, Cost: total}}
+}
+
+// fullScanRule is the phase-2 fallback: scan everything, filter residually.
+type fullScanRule struct{}
+
+func (fullScanRule) Name() string { return "FullScan" }
+
+func (fullScanRule) Apply(e RelExpr, p *CascadesPlanner) []RelExpr {
+	ls, ok := e.(*LogicalSelect)
+	if !ok || ls.scanned {
+		return nil
+	}
+	ls.scanned = true
+	if ls.Query.Sort != nil {
+		return nil // a full scan provides no order
+	}
+	if _, isOr := ls.Query.Filter.(*query.OrComponent); isOr {
+		return nil
+	}
+	plan := wrapResidual(&FullScanPlan{Types: ls.Query.RecordTypes}, ls.Conjuncts, false)
+	return []RelExpr{&PhysicalExpr{
+		Plan: plan,
+		Cost: costFullScan + residualCost(countUnconsumed(ls.Conjuncts)),
+	}}
+}
+
+func countUnconsumed(cs []*conjunct) int {
+	n := 0
+	for _, c := range cs {
+		if !c.consumed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,334 @@
+// Package plan implements query planning and execution (Appendix C): the
+// conversion of declarative queries into combinations of streaming
+// operations — index scans, filters, unions, intersections — plus the
+// planners that choose them. Plans execute as cursors, so every query
+// supports continuations and resource limits like any other scan (§4, §8.2).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"recordlayer/internal/core"
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/index"
+	"recordlayer/internal/query"
+)
+
+// ExecuteOptions carries per-execution state.
+type ExecuteOptions struct {
+	// Continuation resumes a previous execution of the same plan.
+	Continuation []byte
+	// Limiter enforces record/byte/time limits (§8.2); nil is unlimited.
+	Limiter *cursor.Limiter
+}
+
+// Plan is an executable query plan. Plans are immutable and reusable across
+// stores and transactions — the paper's clients cache them like SQL PREPARE
+// statements (Appendix C).
+type Plan interface {
+	// Execute runs the plan against a store.
+	Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error)
+	// OrderedByPrimaryKey reports whether results stream in primary key
+	// order, the property union/intersection merging requires.
+	OrderedByPrimaryKey() bool
+	// String renders the plan tree.
+	String() string
+}
+
+func errPlanCursor(err error) cursor.Cursor[*core.StoredRecord] {
+	return cursor.Func[*core.StoredRecord](func() (cursor.Result[*core.StoredRecord], error) {
+		return cursor.Result[*core.StoredRecord]{}, err
+	})
+}
+
+// ---------------------------------------------------------------- full scan
+
+// FullScanPlan scans every record, optionally filtering record types — the
+// fallback when no index matches (§10.2: "selecting all records of a
+// particular type requires a full scan that skips over records of other
+// types").
+type FullScanPlan struct {
+	Types   []string // empty = all types
+	Reverse bool
+}
+
+// Execute implements Plan.
+func (p *FullScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	c := s.ScanRecords(core.ScanOptions{
+		Reverse:      p.Reverse,
+		Limiter:      opts.Limiter,
+		Continuation: opts.Continuation,
+	})
+	if len(p.Types) == 0 {
+		return c, nil
+	}
+	want := map[string]bool{}
+	for _, t := range p.Types {
+		want[t] = true
+	}
+	return cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
+		return want[r.Type.Name], nil
+	}), nil
+}
+
+// OrderedByPrimaryKey implements Plan.
+func (p *FullScanPlan) OrderedByPrimaryKey() bool { return !p.Reverse }
+
+// String implements Plan.
+func (p *FullScanPlan) String() string {
+	if len(p.Types) == 0 {
+		return "Scan(<all>)"
+	}
+	return fmt.Sprintf("Scan(%s)", strings.Join(p.Types, ","))
+}
+
+// ---------------------------------------------------------------- index scan
+
+// IndexScanPlan scans an index over a tuple range and fetches the records
+// behind the entries.
+type IndexScanPlan struct {
+	IndexName string
+	Range     index.TupleRange
+	Reverse   bool
+	// FullyBound reports that every index key column is pinned by equality,
+	// making the output primary-key ordered.
+	FullyBound bool
+	// FanOut marks scans over fan-out entries, which may repeat records.
+	FanOut bool
+}
+
+// Execute implements Plan.
+func (p *IndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	entries, err := s.ScanIndex(p.IndexName, p.Range, index.ScanOptions{
+		Reverse:      p.Reverse,
+		Limiter:      opts.Limiter,
+		Continuation: opts.Continuation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.FetchIndexed(entries), nil
+}
+
+// OrderedByPrimaryKey implements Plan.
+//
+// When every key column is pinned by equality, remaining entry order is the
+// appended primary key — even for fan-out indexes, whose (value, pk) entry
+// keys are unique for a fixed value.
+func (p *IndexScanPlan) OrderedByPrimaryKey() bool { return p.FullyBound && !p.Reverse }
+
+// String implements Plan.
+func (p *IndexScanPlan) String() string {
+	return fmt.Sprintf("Index(%s %s%s)", p.IndexName, rangeString(p.Range), revString(p.Reverse))
+}
+
+func rangeString(r index.TupleRange) string {
+	lo, hi := "<,", ",>"
+	if r.Low != nil {
+		b := "("
+		if r.LowInclusive {
+			b = "["
+		}
+		lo = b + r.Low.String()
+	}
+	if r.High != nil {
+		b := ")"
+		if r.HighInclusive {
+			b = "]"
+		}
+		hi = r.High.String() + b
+	}
+	return lo + " - " + hi
+}
+
+func revString(r bool) string {
+	if r {
+		return " reverse"
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------- filter
+
+// FilterPlan applies a residual predicate to its child's records.
+type FilterPlan struct {
+	Child  Plan
+	Filter query.Component
+}
+
+// Execute implements Plan.
+func (p *FilterPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	c, err := p.Child.Execute(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
+		return p.Filter.Eval(r.Message)
+	}), nil
+}
+
+// OrderedByPrimaryKey implements Plan.
+func (p *FilterPlan) OrderedByPrimaryKey() bool { return p.Child.OrderedByPrimaryKey() }
+
+// String implements Plan.
+func (p *FilterPlan) String() string {
+	return fmt.Sprintf("Filter(%s | %s)", p.Filter, p.Child)
+}
+
+// ---------------------------------------------------------------- distinct
+
+// DistinctPlan removes duplicate records by primary key — required after
+// fan-out index scans, where one record may produce several entries. The
+// seen-set lives in memory for the duration of one execution; a resumed
+// execution starts a fresh set, so duplicates spanning a continuation
+// boundary can reappear (the Java implementation shares this property for
+// unordered streams).
+type DistinctPlan struct {
+	Child Plan
+}
+
+// Execute implements Plan.
+func (p *DistinctPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	c, err := p.Child.Execute(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	return cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
+		k := string(r.PrimaryKey.Pack())
+		if seen[k] {
+			return false, nil
+		}
+		seen[k] = true
+		return true, nil
+	}), nil
+}
+
+// OrderedByPrimaryKey implements Plan.
+func (p *DistinctPlan) OrderedByPrimaryKey() bool { return p.Child.OrderedByPrimaryKey() }
+
+// String implements Plan.
+func (p *DistinctPlan) String() string { return fmt.Sprintf("Distinct(%s)", p.Child) }
+
+// ---------------------------------------------------------------- union
+
+// UnionPlan merges child streams. When every child is primary-key ordered
+// the merge is an ordered, deduplicating streaming union; otherwise children
+// run sequentially with an in-memory seen-set.
+type UnionPlan struct {
+	Children []Plan
+}
+
+// Execute implements Plan.
+func (p *UnionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	if p.OrderedByPrimaryKey() {
+		builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(p.Children))
+		for i, child := range p.Children {
+			child := child
+			builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
+				c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter})
+				if err != nil {
+					return errPlanCursor(err)
+				}
+				return c
+			}
+		}
+		return cursor.Union(opts.Continuation, pkOf, builders...)
+	}
+	builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(p.Children))
+	for i, child := range p.Children {
+		child := child
+		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
+			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter})
+			if err != nil {
+				return errPlanCursor(err)
+			}
+			return c
+		}
+	}
+	chained, err := cursor.Concat(opts.Continuation, builders...)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	return cursor.Filter(chained, func(r *core.StoredRecord) (bool, error) {
+		k := string(r.PrimaryKey.Pack())
+		if seen[k] {
+			return false, nil
+		}
+		seen[k] = true
+		return true, nil
+	}), nil
+}
+
+func pkOf(r *core.StoredRecord) []byte { return r.PrimaryKey.Pack() }
+
+// OrderedByPrimaryKey implements Plan.
+func (p *UnionPlan) OrderedByPrimaryKey() bool {
+	for _, c := range p.Children {
+		if !c.OrderedByPrimaryKey() {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Plan.
+func (p *UnionPlan) String() string {
+	parts := make([]string, len(p.Children))
+	for i, c := range p.Children {
+		parts[i] = c.String()
+	}
+	kind := "Union"
+	if !p.OrderedByPrimaryKey() {
+		kind = "UnorderedUnion"
+	}
+	return fmt.Sprintf("%s(%s)", kind, strings.Join(parts, " ∪ "))
+}
+
+// ---------------------------------------------------------------- intersection
+
+// IntersectionPlan merges primary-key-ordered children, emitting records
+// present in all of them (AND of independently indexed predicates).
+type IntersectionPlan struct {
+	Children []Plan
+}
+
+// Execute implements Plan.
+func (p *IntersectionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	if !p.OrderedByPrimaryKey() {
+		return nil, fmt.Errorf("plan: intersection requires primary-key ordered children")
+	}
+	builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(p.Children))
+	for i, child := range p.Children {
+		child := child
+		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
+			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter})
+			if err != nil {
+				return errPlanCursor(err)
+			}
+			return c
+		}
+	}
+	return cursor.Intersection(opts.Continuation, pkOf, builders...)
+}
+
+// OrderedByPrimaryKey implements Plan.
+func (p *IntersectionPlan) OrderedByPrimaryKey() bool {
+	for _, c := range p.Children {
+		if !c.OrderedByPrimaryKey() {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Plan.
+func (p *IntersectionPlan) String() string {
+	parts := make([]string, len(p.Children))
+	for i, c := range p.Children {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("Intersection(%s)", strings.Join(parts, " ∩ "))
+}

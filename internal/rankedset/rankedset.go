@@ -1,0 +1,386 @@
+// Package rankedset implements the RANK index substrate (Appendix B): a
+// probabilistic augmented skip list persisted in the key-value store that
+// supports efficient rank-of-key and key-of-rank queries.
+//
+// Each level has a distinct subspace prefix; the lowest level contains every
+// member, and each entry stores the number of level-0 members in the
+// half-open interval from itself to the next entry on the same level.
+// Following a same-level "finger" accumulates that count, yielding the rank
+// — FoundationDB's key ordering supplies the fingers for free (the paper's
+// Figure 5).
+//
+// Per §10.1, navigation reads the skip list at snapshot isolation and adds
+// read conflicts only on the distinguished keys that would actually
+// invalidate the operation; counts are updated with atomic ADDs so
+// concurrent inserts sharing a finger do not conflict.
+package rankedset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/subspace"
+	"recordlayer/internal/tuple"
+)
+
+// Config parameterizes a ranked set.
+type Config struct {
+	// Levels is the number of skip-list levels (default 6).
+	Levels int
+	// LevelFunc decides whether a key appears on the given level (level 0 is
+	// implicit). The default hashes the key so that each level keeps roughly
+	// 1/16 of the level below, deterministically.
+	LevelFunc func(key []byte, level int) bool
+}
+
+// DefaultLevels is the default number of skip-list levels.
+const DefaultLevels = 6
+
+// hashLevelFunc is the default deterministic level assignment: a key appears
+// on level l iff the top bits of its hash have l leading zero hex digits.
+func hashLevelFunc(key []byte, level int) bool {
+	h := fnv.New64a()
+	h.Write(key)
+	v := h.Sum64()
+	for i := 0; i < level; i++ {
+		if v&0xF != 0 {
+			return false
+		}
+		v >>= 4
+	}
+	return true
+}
+
+// RankedSet is a persistent ordered set with rank queries. The zero value is
+// not usable; construct with New.
+type RankedSet struct {
+	space  subspace.Subspace
+	levels int
+	inLvl  func(key []byte, level int) bool
+}
+
+// New creates a ranked set over the given subspace.
+func New(space subspace.Subspace, cfg *Config) *RankedSet {
+	levels := DefaultLevels
+	inLvl := hashLevelFunc
+	if cfg != nil {
+		if cfg.Levels > 0 {
+			levels = cfg.Levels
+		}
+		if cfg.LevelFunc != nil {
+			inLvl = cfg.LevelFunc
+		}
+	}
+	return &RankedSet{space: space, levels: levels, inLvl: inLvl}
+}
+
+// head is the pseudo-entry present on every level with the empty key; its
+// count covers members preceding the first real entry of that level.
+var head = []byte{}
+
+func (rs *RankedSet) levelKey(level int, key []byte) []byte {
+	return rs.space.Pack(tuple.Tuple{int64(level), key})
+}
+
+func (rs *RankedSet) levelRange(level int) (begin, end []byte) {
+	return rs.space.RangeForTuple(tuple.Tuple{int64(level)})
+}
+
+func encodeCount(n int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(n))
+	return b
+}
+
+func decodeCount(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// Init creates the head entries; call once per subspace (idempotent).
+func (rs *RankedSet) Init(tr *fdb.Transaction) error {
+	for l := 0; l < rs.levels; l++ {
+		k := rs.levelKey(l, head)
+		v, err := tr.Snapshot().Get(k)
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			if err := tr.Set(k, encodeCount(0)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Contains reports membership. The read conflicts only on the member's own
+// level-0 key.
+func (rs *RankedSet) Contains(tr *fdb.Transaction, key []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, fmt.Errorf("rankedset: empty key is reserved")
+	}
+	v, err := tr.Get(rs.levelKey(0, key))
+	if err != nil {
+		return false, err
+	}
+	return v != nil, nil
+}
+
+// floor returns the greatest entry at the given level with entryKey <= key,
+// along with its count. The head entry guarantees existence. Reads are
+// snapshot reads (§10.1).
+func (rs *RankedSet) floor(tr *fdb.Transaction, level int, key []byte) ([]byte, int64, error) {
+	begin, _ := rs.levelRange(level)
+	end := fdb.KeyAfter(rs.levelKey(level, key))
+	kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{Limit: 1, Reverse: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(kvs) == 0 {
+		return nil, 0, fmt.Errorf("rankedset: level %d head missing; call Init", level)
+	}
+	t, err := rs.space.Unpack(kvs[0].Key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t[1].([]byte), decodeCount(kvs[0].Value), nil
+}
+
+// sumBelow sums, at the given level, the counts of entries in [from, to) —
+// the number of level-0 members in that key interval, provided both bounds
+// are entries of this level (or head).
+func (rs *RankedSet) sumBelow(tr *fdb.Transaction, level int, from, to []byte) (int64, error) {
+	begin := rs.levelKey(level, from)
+	end := rs.levelKey(level, to)
+	kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{})
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, kv := range kvs {
+		sum += decodeCount(kv.Value)
+	}
+	return sum, nil
+}
+
+// Insert adds a member; it is a no-op if already present (first return false).
+func (rs *RankedSet) Insert(tr *fdb.Transaction, key []byte) (bool, error) {
+	present, err := rs.Contains(tr, key)
+	if err != nil {
+		return false, err
+	}
+	if present {
+		return false, nil
+	}
+	// Level 0: the member itself, count 1.
+	if err := tr.Set(rs.levelKey(0, key), encodeCount(1)); err != nil {
+		return false, err
+	}
+	one := encodeCount(1)
+	for l := 1; l < rs.levels; l++ {
+		prev, prevCount, err := rs.floor(tr, l, key)
+		if err != nil {
+			return false, err
+		}
+		if !rs.inLvl(key, l) {
+			// The key does not appear on this level: the covering finger
+			// now skips one more member. Atomic ADD keeps concurrent
+			// inserts conflict-free (§10.1).
+			if err := tr.Atomic(fdb.MutationAdd, rs.levelKey(l, prev), one); err != nil {
+				return false, err
+			}
+			continue
+		}
+		// Split prev's finger: prev now covers [prev, key), key covers
+		// [key, next). Lower levels are already updated, so summing them
+		// over [prev, key) counts exactly the members below the new key.
+		below, err := rs.sumBelow(tr, l-1, prev, key)
+		if err != nil {
+			return false, err
+		}
+		if err := tr.Set(rs.levelKey(l, prev), encodeCount(below)); err != nil {
+			return false, err
+		}
+		if err := tr.Set(rs.levelKey(l, key), encodeCount(prevCount+1-below)); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Delete removes a member; no-op when absent (first return false).
+func (rs *RankedSet) Delete(tr *fdb.Transaction, key []byte) (bool, error) {
+	present, err := rs.Contains(tr, key)
+	if err != nil {
+		return false, err
+	}
+	if !present {
+		return false, nil
+	}
+	if err := tr.Clear(rs.levelKey(0, key)); err != nil {
+		return false, err
+	}
+	minusOne := encodeCount(-1)
+	for l := 1; l < rs.levels; l++ {
+		if !rs.inLvl(key, l) {
+			prev, _, err := rs.floor(tr, l, key)
+			if err != nil {
+				return false, err
+			}
+			if err := tr.Atomic(fdb.MutationAdd, rs.levelKey(l, prev), minusOne); err != nil {
+				return false, err
+			}
+			continue
+		}
+		// Merge the member's finger back into its predecessor.
+		raw, err := tr.Get(rs.levelKey(l, key))
+		if err != nil {
+			return false, err
+		}
+		count := decodeCount(raw)
+		if err := tr.Clear(rs.levelKey(l, key)); err != nil {
+			return false, err
+		}
+		// The floor is computed on keys strictly before this member now that
+		// its own entry is cleared from the read-your-writes view.
+		prev, prevCount, err := rs.floor(tr, l, key)
+		if err != nil {
+			return false, err
+		}
+		if err := tr.Set(rs.levelKey(l, prev), encodeCount(prevCount+count-1)); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Rank returns the 0-based ordinal rank of key. The second result is false
+// when the key is not a member.
+func (rs *RankedSet) Rank(tr *fdb.Transaction, key []byte) (int64, bool, error) {
+	present, err := rs.Contains(tr, key)
+	if err != nil {
+		return 0, false, err
+	}
+	if !present {
+		return 0, false, nil
+	}
+	r, err := rs.countLess(tr, key)
+	return r, true, err
+}
+
+// CountLess returns how many members sort strictly before key (key need not
+// be a member) — the rank a new member would take.
+func (rs *RankedSet) CountLess(tr *fdb.Transaction, key []byte) (int64, error) {
+	return rs.countLess(tr, key)
+}
+
+// countLess performs the skip-list descent of Figure 5(b): at each level it
+// scans the finger chain from the current position toward key. Every entry
+// except the last in the scan has its successor within the scan, so its
+// count is skipped wholesale; the last entry becomes the position for the
+// level below. At level 0 each entry *is* one member (head counts zero), so
+// all scanned counts are added directly.
+func (rs *RankedSet) countLess(tr *fdb.Transaction, key []byte) (int64, error) {
+	var rank int64
+	cur := head
+	for l := rs.levels - 1; l >= 0; l-- {
+		begin := rs.levelKey(l, cur)
+		end := rs.levelKey(l, key)
+		kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{})
+		if err != nil {
+			return 0, err
+		}
+		if l == 0 {
+			for _, kv := range kvs {
+				rank += decodeCount(kv.Value)
+			}
+			break
+		}
+		for i, kv := range kvs {
+			if i == len(kvs)-1 {
+				t, err := rs.space.Unpack(kv.Key)
+				if err != nil {
+					return 0, err
+				}
+				cur = t[1].([]byte)
+			} else {
+				rank += decodeCount(kv.Value)
+			}
+		}
+	}
+	return rank, nil
+}
+
+// Select returns the member with the given 0-based rank; ok=false when rank
+// is out of range.
+func (rs *RankedSet) Select(tr *fdb.Transaction, rank int64) ([]byte, bool, error) {
+	if rank < 0 {
+		return nil, false, nil
+	}
+	var passed int64
+	cur := head
+	for l := rs.levels - 1; l >= 0; l-- {
+		for {
+			raw, err := tr.Snapshot().Get(rs.levelKey(l, cur))
+			if err != nil {
+				return nil, false, err
+			}
+			count := decodeCount(raw)
+			if passed+count > rank {
+				break // descend: the target lies within cur's finger
+			}
+			// Advance along the level.
+			begin := fdb.KeyAfter(rs.levelKey(l, cur))
+			_, end := rs.levelRange(l)
+			kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{Limit: 1})
+			if err != nil {
+				return nil, false, err
+			}
+			if len(kvs) == 0 {
+				if l == 0 {
+					return nil, false, nil // rank beyond the end
+				}
+				break
+			}
+			t, err := rs.space.Unpack(kvs[0].Key)
+			if err != nil {
+				return nil, false, err
+			}
+			passed += count
+			cur = t[1].([]byte)
+		}
+		if l == 0 {
+			if passed == rank && len(cur) > 0 {
+				return cur, true, nil
+			}
+			return nil, false, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Size returns the number of members.
+func (rs *RankedSet) Size(tr *fdb.Transaction) (int64, error) {
+	top := rs.levels - 1
+	begin, end := rs.levelRange(top)
+	kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{})
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, kv := range kvs {
+		sum += decodeCount(kv.Value)
+	}
+	return sum, nil
+}
+
+// Clear removes all state, including head entries.
+func (rs *RankedSet) Clear(tr *fdb.Transaction) error {
+	begin, end := rs.space.Range()
+	return tr.ClearRange(begin, end)
+}

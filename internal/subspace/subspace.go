@@ -1,0 +1,88 @@
+// Package subspace provides key subspaces: fixed byte prefixes under which
+// tuples are packed. A record store's contiguous key range (§3, §4) is a
+// subspace; each index lives in a dedicated subspace within it (§6).
+package subspace
+
+import (
+	"bytes"
+	"errors"
+
+	"recordlayer/internal/tuple"
+)
+
+// Subspace scopes tuple-encoded keys under a raw byte prefix.
+type Subspace struct {
+	prefix []byte
+}
+
+// FromBytes creates a subspace with the given raw prefix.
+func FromBytes(prefix []byte) Subspace {
+	return Subspace{prefix: append([]byte(nil), prefix...)}
+}
+
+// FromTuple creates a subspace whose prefix is the packed tuple.
+func FromTuple(t tuple.Tuple) Subspace {
+	return Subspace{prefix: t.Pack()}
+}
+
+// Sub returns a child subspace extending this one with more tuple elements.
+func (s Subspace) Sub(elems ...interface{}) Subspace {
+	return Subspace{prefix: append(append([]byte(nil), s.prefix...), tuple.Tuple(elems).Pack()...)}
+}
+
+// Bytes returns the raw prefix. The result must not be modified.
+func (s Subspace) Bytes() []byte { return s.prefix }
+
+// Pack encodes a tuple under this subspace's prefix.
+func (s Subspace) Pack(t tuple.Tuple) []byte {
+	return append(append([]byte(nil), s.prefix...), t.Pack()...)
+}
+
+// PackWithVersionstamp encodes a tuple containing one incomplete versionstamp
+// under this prefix, with the trailing offset expected by versionstamped-key
+// mutations.
+func (s Subspace) PackWithVersionstamp(t tuple.Tuple) ([]byte, error) {
+	return t.PackWithVersionstamp(s.prefix)
+}
+
+// Unpack decodes a key produced by Pack back into its tuple.
+func (s Subspace) Unpack(key []byte) (tuple.Tuple, error) {
+	if !s.Contains(key) {
+		return nil, errors.New("subspace: key is outside subspace")
+	}
+	return tuple.Unpack(key[len(s.prefix):])
+}
+
+// Contains reports whether key begins with this subspace's prefix.
+func (s Subspace) Contains(key []byte) bool {
+	return bytes.HasPrefix(key, s.prefix)
+}
+
+// Range returns the key range [begin, end) covering every tuple packed under
+// this subspace.
+func (s Subspace) Range() (begin, end []byte) {
+	begin = append(append([]byte(nil), s.prefix...), 0x00)
+	end = append(append([]byte(nil), s.prefix...), 0xFF)
+	return begin, end
+}
+
+// RangeForTuple returns the range covering all keys extending the given
+// tuple within this subspace.
+func (s Subspace) RangeForTuple(t tuple.Tuple) (begin, end []byte) {
+	p := s.Pack(t)
+	begin = append(append([]byte(nil), p...), 0x00)
+	end = append(append([]byte(nil), p...), 0xFF)
+	return begin, end
+}
+
+// AllRange returns the range covering every key with this prefix, including
+// the bare prefix itself and non-tuple suffixes.
+func (s Subspace) AllRange() (begin, end []byte) {
+	begin = append([]byte(nil), s.prefix...)
+	e, err := tuple.Strinc(s.prefix)
+	if err != nil {
+		// All-0xFF prefix: fall back to the maximal range.
+		e = append(append([]byte(nil), s.prefix...), bytes.Repeat([]byte{0xFF}, 16)...)
+	}
+	return begin, e
+}

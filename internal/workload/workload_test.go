@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStoreSizesShape(t *testing.T) {
+	sizes := StoreSizes(50_000, 1)
+	if len(sizes) != 50_000 {
+		t.Fatalf("count: %d", len(sizes))
+	}
+	small, total, bigBytes := 0, 0.0, 0.0
+	for _, s := range sizes {
+		if s < 1 {
+			t.Fatalf("size below 1 byte: %v", s)
+		}
+		if s < 1000 {
+			small++
+		}
+		total += s
+		if s >= 1_000_000 {
+			bigBytes += s
+		}
+	}
+	// The Figure 1 calibration targets.
+	if frac := float64(small) / float64(len(sizes)); frac < 0.5 {
+		t.Fatalf("stores under 1 kB: %.2f", frac)
+	}
+	if frac := bigBytes / total; frac < 0.5 {
+		t.Fatalf("bytes in large stores: %.2f", frac)
+	}
+}
+
+func TestStoreSizesDeterministic(t *testing.T) {
+	a := StoreSizes(100, 7)
+	b := StoreSizes(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different populations")
+		}
+	}
+	c := StoreSizes(100, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestCorpusCalibration(t *testing.T) {
+	docs := Corpus(233, 2)
+	if len(docs) != 233 {
+		t.Fatalf("docs: %d", len(docs))
+	}
+	s := AnalyzeCorpus(docs)
+	// Table 2 targets: ~5000 B, ~431.8 unique, ~2.1 occurrences, ~7.8 chars.
+	if s.MeanBytes < 3500 || s.MeanBytes > 8500 {
+		t.Fatalf("bytes/doc: %.0f", s.MeanBytes)
+	}
+	if s.MeanUniqueTokens < 300 || s.MeanUniqueTokens > 600 {
+		t.Fatalf("unique tokens/doc: %.1f", s.MeanUniqueTokens)
+	}
+	if s.MeanOccurrences < 1.5 || s.MeanOccurrences > 3.0 {
+		t.Fatalf("occurrences: %.2f", s.MeanOccurrences)
+	}
+	if s.MeanUniqueTokenLen < 6 || s.MeanUniqueTokenLen > 10 {
+		t.Fatalf("token length: %.2f", s.MeanUniqueTokenLen)
+	}
+}
+
+func TestTxnMix(t *testing.T) {
+	specs := TxnMix(200, 13)
+	if len(specs) != 200 {
+		t.Fatalf("specs: %d", len(specs))
+	}
+	totalRecords := 0
+	for _, s := range specs {
+		if len(s.RecordSizes) < 1 {
+			t.Fatal("empty transaction")
+		}
+		for _, sz := range s.RecordSizes {
+			if sz < 32 || sz > 30_000 {
+				t.Fatalf("record size out of range: %d", sz)
+			}
+		}
+		totalRecords += len(s.RecordSizes)
+	}
+	mean := float64(totalRecords) / float64(len(specs))
+	if mean < 5 || mean > 12 { // §8.2: ~8.5 records/txn
+		t.Fatalf("mean records/txn: %.2f", mean)
+	}
+}
+
+func TestNoteBody(t *testing.T) {
+	body := NoteBody(rand.New(rand.NewSource(1)), 500)
+	if len(body) < 500 || len(body) > 530 {
+		t.Fatalf("body length: %d", len(body))
+	}
+}
