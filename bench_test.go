@@ -1,26 +1,28 @@
-package recordlayer
+package recordlayer_test
 
 // One benchmark per experiment in EXPERIMENTS.md, plus microbenchmarks for
 // the load-bearing substrates. The experiment benches call the same harness
 // functions as cmd/experiments, so `go test -bench .` regenerates every
-// table and figure's underlying measurement.
+// table and figure's underlying measurement. The micro benches exercise the
+// public recordlayer façade — Runner, StoreProvider, ExecuteQuery — the same
+// surface every consumer uses.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
-	"recordlayer/internal/core"
-	"recordlayer/internal/cursor"
+	"recordlayer"
 	"recordlayer/internal/exp"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/index"
 	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
-	"recordlayer/internal/plan"
 	"recordlayer/internal/query"
-	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
+	"recordlayer/internal/workload"
 )
 
 // ---------------------------------------------------------------- figures & tables
@@ -95,12 +97,13 @@ func BenchmarkFigure5RankLookup(b *testing.B) {
 	if res.RankOfE != 4 {
 		b.Fatalf("rank(e) = %d", res.RankOfE)
 	}
-	db, md, sp := benchStore(b, 2000)
+	env := benchStore(b, 2000)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		i := i
-		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+		_, err := env.runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
 			if err != nil {
 				return nil, err
 			}
@@ -110,6 +113,18 @@ func BenchmarkFigure5RankLookup(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkOperationMix runs the façade-driven CloudKit-style operation mix.
+func BenchmarkOperationMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, err := workload.RunMix(context.Background(), workload.MixConfig{Txns: 40, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats.RecordsWritten), "records")
+		b.ReportMetric(float64(stats.RowsRead), "rows-read")
 	}
 }
 
@@ -166,6 +181,15 @@ func BenchmarkAblationSyncIndex(b *testing.B) {
 
 // ---------------------------------------------------------------- micro
 
+const benchTenant = int64(1)
+
+type benchEnv struct {
+	db       *fdb.Database
+	runner   *recordlayer.Runner
+	provider *recordlayer.StoreProvider
+	user     *message.Descriptor
+}
+
 func benchSchema() (*message.Descriptor, *metadata.MetaData) {
 	user := message.MustDescriptor("U",
 		message.Field("id", 1, message.TypeInt64),
@@ -184,21 +208,43 @@ func benchSchema() (*message.Descriptor, *metadata.MetaData) {
 	return user, md
 }
 
-func benchStore(b *testing.B, n int) (*fdb.Database, *metadata.MetaData, subspace.Subspace) {
+func benchFacade(b *testing.B) benchEnv {
 	b.Helper()
 	user, md := benchSchema()
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("bench", "bench").Add(
+			keyspace.NewDirectory("user", keyspace.TypeInt64)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	provider, err := recordlayer.NewStoreProvider(md, ks,
+		[]string{"bench", "user"}, recordlayer.ProviderOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	db := fdb.Open(nil)
-	sp := subspace.FromTuple(tuple.Tuple{"bench"})
+	return benchEnv{
+		db:       db,
+		runner:   recordlayer.NewRunner(db, recordlayer.RunnerOptions{}),
+		provider: provider,
+		user:     user,
+	}
+}
+
+func benchStore(b *testing.B, n int) benchEnv {
+	b.Helper()
+	env := benchFacade(b)
+	ctx := context.Background()
 	const batch = 200
 	for lo := 0; lo < n; lo += batch {
 		lo := lo
-		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-			s, err := core.Open(tr, md, sp, core.OpenOptions{CreateIfMissing: true})
+		_, err := env.runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
 			if err != nil {
 				return nil, err
 			}
 			for i := lo; i < lo+batch && i < n; i++ {
-				rec := message.New(user).
+				rec := message.New(env.user).
 					MustSet("id", int64(i)).
 					MustSet("name", fmt.Sprintf("user-%06d", i)).
 					MustSet("score", int64(i))
@@ -212,24 +258,23 @@ func benchStore(b *testing.B, n int) (*fdb.Database, *metadata.MetaData, subspac
 			b.Fatal(err)
 		}
 	}
-	return db, md, sp
+	return env
 }
 
-// BenchmarkSaveRecord measures the full save pipeline: load-old, maintain
-// three indexes, split and write.
+// BenchmarkSaveRecord measures the full save pipeline through the façade:
+// open store, load-old, maintain three indexes, split and write, commit.
 func BenchmarkSaveRecord(b *testing.B) {
-	user, md := benchSchema()
-	db := fdb.Open(nil)
-	sp := subspace.FromTuple(tuple.Tuple{"bench"})
+	env := benchFacade(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		i := i
-		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-			s, err := core.Open(tr, md, sp, core.OpenOptions{CreateIfMissing: true})
+		_, err := env.runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
 			if err != nil {
 				return nil, err
 			}
-			rec := message.New(user).
+			rec := message.New(env.user).
 				MustSet("id", int64(i)).
 				MustSet("name", fmt.Sprintf("user-%06d", i)).
 				MustSet("score", int64(i))
@@ -244,12 +289,13 @@ func BenchmarkSaveRecord(b *testing.B) {
 
 // BenchmarkLoadRecord measures a point read (version slot + data).
 func BenchmarkLoadRecord(b *testing.B) {
-	db, md, sp := benchStore(b, 1000)
+	env := benchStore(b, 1000)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		i := i
-		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+		_, err := env.runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
 			if err != nil {
 				return nil, err
 			}
@@ -270,22 +316,27 @@ func BenchmarkLoadRecord(b *testing.B) {
 
 // BenchmarkIndexScan measures a 50-entry index range scan plus fetches.
 func BenchmarkIndexScan(b *testing.B) {
-	db, md, sp := benchStore(b, 1000)
+	env := benchStore(b, 1000)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+		_, err := env.runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
 			if err != nil {
 				return nil, err
 			}
-			c, err := s.ScanIndex("by_name", index.TupleRange{
-				Low: tuple.Tuple{"user-000100"}, LowInclusive: true,
-				High: tuple.Tuple{"user-000150"}, HighInclusive: false,
-			}, index.ScanOptions{})
+			cur, err := s.ExecuteQuery(ctx, recordlayer.Query{
+				RecordTypes: []string{"U"},
+				Filter: query.And(
+					query.Field("name").GreaterOrEqual("user-000100"),
+					query.Field("name").LessThan("user-000150"),
+				),
+				Sort: keyexpr.Field("name"),
+			}, recordlayer.ExecuteProperties{})
 			if err != nil {
 				return nil, err
 			}
-			recs, _, _, err := cursor.Collect(s.FetchIndexed(c))
+			recs, err := cur.ToList()
 			if err != nil {
 				return nil, err
 			}
@@ -300,33 +351,75 @@ func BenchmarkIndexScan(b *testing.B) {
 	}
 }
 
-// BenchmarkPlannedQuery measures planning plus execution of an indexed query.
+// BenchmarkPlannedQuery measures execution of an indexed query through
+// ExecuteQuery, with planning amortized by the provider's plan cache.
 func BenchmarkPlannedQuery(b *testing.B) {
-	db, md, sp := benchStore(b, 1000)
-	planner := plan.New(md, plan.Config{})
-	q := query.RecordQuery{RecordTypes: []string{"U"},
+	env := benchStore(b, 1000)
+	ctx := context.Background()
+	q := recordlayer.Query{RecordTypes: []string{"U"},
 		Filter: query.Field("name").BeginsWith("user-0002")}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := planner.Plan(q)
-		if err != nil {
-			b.Fatal(err)
-		}
-		_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-			s, err := core.Open(tr, md, sp, core.OpenOptions{})
+		_, err := env.runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
 			if err != nil {
 				return nil, err
 			}
-			c, err := p.Execute(s, plan.ExecuteOptions{})
+			cur, err := s.ExecuteQuery(ctx, q, recordlayer.ExecuteProperties{})
 			if err != nil {
 				return nil, err
 			}
-			recs, _, _, err := cursor.Collect(c)
+			recs, err := cur.ToList()
 			if err != nil {
 				return nil, err
 			}
 			if len(recs) != 100 {
 				return nil, fmt.Errorf("query returned %d", len(recs))
+			}
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := env.provider.PlanCacheStats(); st.Misses != 1 {
+		b.Fatalf("plan cache misses = %d, want 1", st.Misses)
+	}
+}
+
+// BenchmarkIndexScanRaw measures the same 50-entry scan via the raw store
+// API (no planner), isolating the query layer's overhead.
+func BenchmarkIndexScanRaw(b *testing.B) {
+	env := benchStore(b, 1000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := env.runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
+			if err != nil {
+				return nil, err
+			}
+			c, err := s.ScanIndex("by_name", index.TupleRange{
+				Low: tuple.Tuple{"user-000100"}, LowInclusive: true,
+				High: tuple.Tuple{"user-000150"}, HighInclusive: false,
+			}, index.ScanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			n := 0
+			fetched := s.FetchIndexed(c)
+			for {
+				r, err := fetched.Next()
+				if err != nil {
+					return nil, err
+				}
+				if !r.OK {
+					break
+				}
+				n++
+			}
+			if n != 50 {
+				return nil, fmt.Errorf("scan returned %d", n)
 			}
 			return nil, nil
 		})
@@ -360,13 +453,15 @@ func BenchmarkMessageMarshal(b *testing.B) {
 	}
 }
 
-// BenchmarkKVTransactionCommit measures the simulator's raw commit path.
+// BenchmarkKVTransactionCommit measures the simulator's raw commit path
+// through the Runner.
 func BenchmarkKVTransactionCommit(b *testing.B) {
-	db := fdb.Open(nil)
+	env := benchFacade(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		i := i
-		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		_, err := env.runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 			return nil, tr.Set([]byte(fmt.Sprintf("key-%09d", i)), []byte("value"))
 		})
 		if err != nil {

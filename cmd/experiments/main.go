@@ -11,14 +11,17 @@
 //	go run ./cmd/experiments -run e2      # §2 transaction sizes
 //	go run ./cmd/experiments -run f5      # Figure 5 rank walkthrough
 //	go run ./cmd/experiments -run a1..a4  # ablations
+//	go run ./cmd/experiments -run mix     # façade-driven operation mix (§8.2)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"recordlayer/internal/exp"
+	"recordlayer/internal/workload"
 )
 
 func main() {
@@ -30,7 +33,7 @@ func main() {
 
 	ids := []string{*run}
 	if *run == "all" {
-		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4"}
+		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4", "mix"}
 	}
 	for i, id := range ids {
 		if i > 0 {
@@ -81,6 +84,21 @@ func runOne(id string, stores, docs, txns int) error {
 	case "a4":
 		_, err := exp.RunSyncAblation(w, 8, 25)
 		return err
+	case "mix":
+		fmt.Fprintln(w, "Operation mix through the public recordlayer façade (§8.2):")
+		fmt.Fprintln(w, "  per-tenant stores via StoreProvider, writes via Runner.Run,")
+		fmt.Fprintln(w, "  zone queries via ExecuteQuery under per-request limits")
+		fmt.Fprintln(w)
+		stats, err := workload.RunMix(context.Background(), workload.MixConfig{Txns: txns, Seed: 42})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %d txns wrote %d records (%d body bytes) across tenants\n",
+			stats.Txns, stats.RecordsWritten, stats.BytesWritten)
+		fmt.Fprintf(w, "  %d sync queries read %d rows (snapshot, row/scan limited)\n",
+			stats.Queries, stats.RowsRead)
+		fmt.Fprintf(w, "  runner retries: %d; plan cache: %d hits / %d misses\n",
+			stats.Retries, stats.PlanCacheHits, stats.PlanCacheMiss)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -1,32 +1,39 @@
-// Command rl is a guided tour of the Record Layer: it walks through the
-// paper's feature set — record stores, schema evolution, index types,
-// continuations and resource limits — narrating each step. Useful as a
-// smoke test and as living documentation.
+// Command rl is a guided tour of the Record Layer through its public
+// façade: it walks the paper's feature set — record stores opened via a
+// multi-tenant StoreProvider, schema evolution, declarative queries under
+// ExecuteProperties, continuations and resource limits, and the Runner's
+// bounded retry loop — narrating each step. Useful as a smoke test and as
+// living documentation.
 //
 //	go run ./cmd/rl
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
-	"recordlayer/internal/core"
-	"recordlayer/internal/cursor"
+	"recordlayer"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/index"
 	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
-	"recordlayer/internal/subspace"
+	"recordlayer/internal/query"
 	"recordlayer/internal/tuple"
 )
 
 func main() {
 	db := fdb.Open(nil)
-	space := subspace.FromTuple(tuple.Tuple{"tour"})
+	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
+	ctx := context.Background()
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "tour").Add(
+			keyspace.NewDirectory("tenant", keyspace.TypeString)))
+	must(err)
 
-	section("1. Schema and record store")
+	section("1. Schema and record store (via StoreProvider)")
 	task := message.MustDescriptor("Task",
 		message.Field("id", 1, message.TypeInt64),
 		message.Field("title", 2, message.TypeString),
@@ -35,19 +42,26 @@ func main() {
 	v1 := metadata.NewBuilder(1).
 		AddRecordType(task, keyexpr.Field("id")).
 		MustBuild()
-	must(transact(db, v1, space, func(s *core.Store) error {
+	p1, err := recordlayer.NewStoreProvider(v1, ks, []string{"app", "tenant"}, recordlayer.ProviderOptions{})
+	must(err)
+	_, err = runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		s, err := p1.Open(ctx, tr, "acme")
+		if err != nil {
+			return nil, err
+		}
 		for i := int64(1); i <= 30; i++ {
 			rec := message.New(task).
 				MustSet("id", i).
 				MustSet("title", fmt.Sprintf("task %02d", i)).
 				MustSet("done", i%3 == 0)
 			if _, err := s.SaveRecord(rec); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		fmt.Println("  created a record store and saved 30 Task records")
-		return nil
-	}))
+		fmt.Println("  created tenant \"acme\"'s record store and saved 30 Task records")
+		return nil, nil
+	})
+	must(err)
 
 	section("2. Schema evolution: add a field and an index (§5)")
 	taskV2 := message.MustDescriptor("Task",
@@ -63,73 +77,138 @@ func main() {
 		MustBuild()
 	must(metadata.ValidateEvolution(v1, v2))
 	fmt.Println("  evolution validated: field added, index added, nothing removed")
-	must(transact(db, v2, space, func(s *core.Store) error {
+	p2, err := recordlayer.NewStoreProvider(v2, ks, []string{"app", "tenant"}, recordlayer.ProviderOptions{})
+	must(err)
+	_, err = runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 		// Opening with v2 builds the new index inline (store is small).
+		s, err := p2.Open(ctx, tr, "acme")
+		if err != nil {
+			return nil, err
+		}
 		st, err := s.IndexState("by_title")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("  store reopened with v2; by_title is %v (built inline on open)\n", st)
-		return nil
-	}))
+		return nil, nil
+	})
+	must(err)
 
 	section("3. Continuations: stateless paging (§3.1)")
-	var cont []byte
+	q := recordlayer.Query{RecordTypes: []string{"Task"}}
+	props := recordlayer.ExecuteProperties{RowLimit: 12}
 	pages := 0
 	for {
-		done := false
-		must(transact(db, v2, space, func(s *core.Store) error {
-			c := cursor.Limit[*core.StoredRecord](s.ScanRecords(core.ScanOptions{Continuation: cont}), 12)
-			recs, reason, cc, err := cursor.Collect(c)
+		res, err := runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := p2.Open(ctx, tr, "acme")
 			if err != nil {
-				return err
+				return nil, err
+			}
+			cur, err := s.ExecuteQuery(ctx, q, props)
+			if err != nil {
+				return nil, err
+			}
+			recs, err := cur.ToList()
+			if err != nil {
+				return nil, err
 			}
 			pages++
-			fmt.Printf("  page %d: %d records (%v)\n", pages, len(recs), reason)
-			cont = cc
-			done = reason == cursor.SourceExhausted
-			return nil
-		}))
-		if done {
+			fmt.Printf("  page %d: %d records (%v)\n", pages, len(recs), cur.NoNextReason())
+			return cur, nil
+		})
+		must(err)
+		cur := res.(*recordlayer.RecordCursor)
+		if cur.Exhausted() {
 			break
 		}
+		props = props.WithContinuation(cur.Continuation())
 	}
 
 	section("4. Resource limits: bounded work per request (§8.2)")
-	must(transact(db, v2, space, func(s *core.Store) error {
-		lim := cursor.NewLimiter(10, 0, time.Time{}, nil)
-		recs, reason, cc, err := cursor.Collect(s.ScanRecords(core.ScanOptions{Limiter: lim}))
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		s, err := p2.Open(ctx, tr, "acme")
 		if err != nil {
-			return err
+			return nil, err
+		}
+		cur, err := s.ExecuteQuery(ctx, q, recordlayer.ExecuteProperties{ScanRecordLimit: 10})
+		if err != nil {
+			return nil, err
+		}
+		recs, err := cur.ToList()
+		if err != nil {
+			return nil, err
 		}
 		fmt.Printf("  scan halted after %d records: %v; continuation of %d bytes returned to client\n",
-			len(recs), reason, len(cc))
-		return nil
-	}))
+			len(recs), cur.NoNextReason(), len(cur.Continuation()))
+		return nil, nil
+	})
+	must(err)
 
 	section("5. Index scan with range (§7)")
-	must(transact(db, v2, space, func(s *core.Store) error {
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		s, err := p2.Open(ctx, tr, "acme")
+		if err != nil {
+			return nil, err
+		}
+		// Indexed range via the fluent query path: title in [task 10, task 13).
+		cur, err := s.ExecuteQuery(ctx, recordlayer.Query{
+			RecordTypes: []string{"Task"},
+			Filter:      qTitleRange(),
+			Sort:        keyexpr.Field("title"),
+		}, recordlayer.ExecuteProperties{})
+		if err != nil {
+			return nil, err
+		}
+		err = cur.ForEach(func(r *recordlayer.Record) error {
+			title, _ := r.Message.Get("title")
+			fmt.Printf("  %v -> record %v\n", title, r.PrimaryKey)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The same data is reachable as a raw index scan when you want
+		// entries rather than records.
 		c, err := s.ScanIndex("by_title", index.TupleRange{
 			Low: tuple.Tuple{"task 10"}, LowInclusive: true,
-			High: tuple.Tuple{"task 13"}, HighInclusive: false,
+			High: tuple.Tuple{"task 11"}, HighInclusive: false,
 		}, index.ScanOptions{})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		entries, _, _, err := cursor.Collect(c)
+		e, err := c.Next()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, e := range entries {
-			fmt.Printf("  %v -> record %v\n", e.Key, e.PrimaryKey)
-		}
-		return nil
-	}))
+		fmt.Printf("  (raw index entry: %v -> %v)\n", e.Value.Key, e.Value.PrimaryKey)
+		return nil, nil
+	})
+	must(err)
 
 	section("6. The record store is one key range (§3)")
-	b, e := space.Range()
-	fmt.Printf("  every record, index entry, and the store header live in\n  [%x, %x)\n", b, e)
-	fmt.Printf("  keys in cluster: %d — moving this tenant = copying that range\n", db.Size())
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		s, err := p2.Open(ctx, tr, "acme")
+		if err != nil {
+			return nil, err
+		}
+		b, e := s.Subspace().Range()
+		fmt.Printf("  every record, index entry, and the store header live in\n  [%x, %x)\n", b, e)
+		fmt.Printf("  keys in cluster: %d — moving this tenant = copying that range\n", db.Size())
+		return nil, nil
+	})
+	must(err)
+
+	section("7. The runner under the hood")
+	m := runner.Metrics()
+	fmt.Printf("  %d transactions run, %d retried, %d failed; plan cache %+v\n",
+		m.Runs, m.Retries, m.Failures, p2.PlanCacheStats())
+}
+
+func qTitleRange() query.Component {
+	return query.And(
+		query.Field("title").GreaterOrEqual("task 10"),
+		query.Field("title").LessThan("task 13"),
+	)
 }
 
 func section(title string) { fmt.Printf("\n%s\n", title) }
@@ -138,15 +217,4 @@ func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func transact(db *fdb.Database, md *metadata.MetaData, space subspace.Subspace, f func(*core.Store) error) error {
-	_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-		s, err := core.Open(tr, md, space, core.OpenOptions{CreateIfMissing: true})
-		if err != nil {
-			return nil, err
-		}
-		return nil, f(s)
-	})
-	return err
 }

@@ -3,6 +3,66 @@
 // multi-tenant structured datastore built on an ordered transactional
 // key-value store.
 //
+// This package is the public façade. It has four pillars:
+//
+//   - Runner: the standard transactional retry loop (§5) with bounded
+//     attempts, exponential backoff with jitter, retryable-error
+//     classification, and context cancellation/deadline propagation.
+//   - StoreProvider: multi-tenant routing — a schema, store configuration,
+//     and keyspace path template bound together so one call opens a
+//     tenant's record store inside a transaction.
+//   - ExecuteProperties: the per-request limit taxonomy (§8.2) — row limit,
+//     scanned-record/byte limits, a time budget defaulted from the context
+//     deadline, snapshot isolation, and the continuation to resume from.
+//   - Fluent query execution: Store.ExecuteQuery plans declarative queries
+//     through a shared LRU plan cache (the client-side "SQL PREPARE" idiom,
+//     Appendix C) and returns a RecordCursor with ForEach/ToList and
+//     continuation accessors.
+//
+// The essential workflow:
+//
+//	db := fdb.Open(nil)
+//	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
+//	ks, _ := keyspace.New(nil,
+//		keyspace.NewConstant("app", "myapp").Add(
+//			keyspace.NewDirectory("user", keyspace.TypeInt64)))
+//	provider, _ := recordlayer.NewStoreProvider(md, ks,
+//		[]string{"app", "user"}, recordlayer.ProviderOptions{})
+//
+//	_, err := runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+//		store, err := provider.Open(ctx, tr, userID)
+//		if err != nil {
+//			return nil, err
+//		}
+//		return store.SaveRecord(rec)
+//	})
+//
+// Queries stream under per-request limits and resume across transactions by
+// continuation, keeping every server stateless (§3.1):
+//
+//	props := recordlayer.ExecuteProperties{RowLimit: 10, ScanRecordLimit: 1000}
+//	for {
+//		res, _ := runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+//			store, err := provider.Open(ctx, tr, userID)
+//			if err != nil {
+//				return nil, err
+//			}
+//			cur, err := store.ExecuteQuery(ctx, q, props)
+//			if err != nil {
+//				return nil, err
+//			}
+//			if err := cur.ForEach(handle); err != nil {
+//				return nil, err
+//			}
+//			return cur, nil
+//		})
+//		cur := res.(*recordlayer.RecordCursor)
+//		if cur.Exhausted() {
+//			break
+//		}
+//		props = props.WithContinuation(cur.Continuation())
+//	}
+//
 // The implementation lives under internal/: the FoundationDB simulator
 // (internal/fdb), the tuple, subspace, directory and keyspace layers, a
 // dynamic protobuf (internal/message), schema management

@@ -1,13 +1,16 @@
 // CloudKit sync example (§8): billions-of-databases multi-tenancy in
 // miniature — per-user record stores, zones, incremental device sync via the
 // VERSION index, and a cross-cluster user move that preserves change order
-// through the incarnation scheme.
+// through the incarnation scheme. Transactions run through the façade's
+// Runner, one per cluster, with bounded retries and context propagation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"recordlayer"
 	"recordlayer/internal/cloudkit"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/message"
@@ -16,6 +19,9 @@ import (
 func main() {
 	clusterA := fdb.Open(nil)
 	clusterB := fdb.Open(nil)
+	runnerA := recordlayer.NewRunner(clusterA, recordlayer.RunnerOptions{})
+	runnerB := recordlayer.NewRunner(clusterB, recordlayer.RunnerOptions{})
+	ctx := context.Background()
 
 	svc, err := cloudkit.NewService(42)
 	if err != nil {
@@ -35,8 +41,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	save := func(db *fdb.Database, user int64, zone, name, title string) {
-		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+	save := func(r *recordlayer.Runner, user int64, zone, name, title string) {
+		_, err := r.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 			store, err := svc.UserStore(tr, notes, user)
 			if err != nil {
 				return nil, err
@@ -53,28 +59,26 @@ func main() {
 	}
 
 	// Two users on cluster A; their record stores are disjoint subspaces.
-	save(clusterA, 1, "personal", "groceries", "milk, eggs")
-	save(clusterA, 1, "personal", "ideas", "record layer in go")
-	save(clusterA, 1, "work", "standup", "status notes")
-	save(clusterA, 2, "personal", "groceries", "coffee")
+	save(runnerA, 1, "personal", "groceries", "milk, eggs")
+	save(runnerA, 1, "personal", "ideas", "record layer in go")
+	save(runnerA, 1, "work", "standup", "status notes")
+	save(runnerA, 2, "personal", "groceries", "coffee")
 
 	// Device sync: page through user 1's personal zone (§8.1).
-	sync := func(db *fdb.Database, user int64, zone string, cont []byte) *cloudkit.SyncResult {
-		var res *cloudkit.SyncResult
-		_, err := db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+	sync := func(r *recordlayer.Runner, user int64, zone string, cont []byte) *cloudkit.SyncResult {
+		res, err := r.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 			store, err := svc.UserStore(tr, notes, user)
 			if err != nil {
 				return nil, err
 			}
-			res, err = svc.SyncZone(store, zone, cont, 10)
-			return nil, err
+			return svc.SyncZone(store, zone, cont, 10)
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return res
+		return res.(*cloudkit.SyncResult)
 	}
-	res := sync(clusterA, 1, "personal", nil)
+	res := sync(runnerA, 1, "personal", nil)
 	fmt.Println("device catches up on user 1 / personal:")
 	for _, c := range res.Changes {
 		fmt.Printf("  change: %s (incarnation %d)\n", c.RecordName, c.Incarnation)
@@ -88,16 +92,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nuser 1 moved from cluster A to cluster B")
-	save(clusterB, 1, "personal", "after-move", "written on the new cluster")
+	save(runnerB, 1, "personal", "after-move", "written on the new cluster")
 
-	res = sync(clusterB, 1, "personal", checkpoint)
+	res = sync(runnerB, 1, "personal", checkpoint)
 	fmt.Println("\nincremental sync from the pre-move checkpoint:")
 	for _, c := range res.Changes {
 		fmt.Printf("  change: %s (incarnation %d)\n", c.RecordName, c.Incarnation)
 	}
 
 	// Quota bookkeeping rides on an atomic SUM system index (§8).
-	_, err = clusterB.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
+	_, err = runnerB.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 		store, err := svc.UserStore(tr, notes, 1)
 		if err != nil {
 			return nil, err

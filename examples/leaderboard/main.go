@@ -1,20 +1,21 @@
 // Leaderboard example (Appendix B): the RANK index answers "what place am I
 // in?" and "who is at rank k?" without scanning — the paper's leaderboard
-// and scrollbar use cases.
+// and scrollbar use cases — driven through the public recordlayer façade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"recordlayer/internal/core"
+	"recordlayer"
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/index"
 	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
-	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
 
@@ -30,15 +31,28 @@ func main() {
 		MustBuild()
 
 	db := fdb.Open(nil)
-	space := subspace.FromTuple(tuple.Tuple{"leaderboard"})
+	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("game", "leaderboard").Add(
+			keyspace.NewDirectory("season", keyspace.TypeInt64)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider, err := recordlayer.NewStoreProvider(md, ks,
+		[]string{"game", "season"}, recordlayer.ProviderOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	const season = int64(2026)
 
 	scores := map[string]int64{
 		"ahab": 4200, "ishmael": 1250, "queequeg": 3800,
 		"starbuck": 2900, "stubb": 1900, "flask": 800,
 		"pip": 3100, "fedallah": 2200,
 	}
-	_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{CreateIfMissing: true})
+	_, err = runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, season)
 		if err != nil {
 			return nil, err
 		}
@@ -54,8 +68,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{})
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, season)
 		if err != nil {
 			return nil, err
 		}
@@ -105,8 +119,8 @@ func main() {
 	}
 
 	// A score update moves the player atomically: old rank entry out, new in.
-	_, err = db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{})
+	_, err = runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, season)
 		if err != nil {
 			return nil, err
 		}
@@ -117,8 +131,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{})
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, season)
 		if err != nil {
 			return nil, err
 		}

@@ -1,20 +1,21 @@
-// Quickstart: define a schema, save records, run declarative queries, and
-// read aggregate indexes — the core Record Layer workflow.
+// Quickstart: the public recordlayer façade end to end — define a schema,
+// bind a multi-tenant StoreProvider, save records through the Runner's retry
+// loop, run declarative queries with ExecuteProperties, page by
+// continuation, and read aggregate indexes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"recordlayer/internal/core"
-	"recordlayer/internal/cursor"
+	"recordlayer"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
-	"recordlayer/internal/plan"
 	"recordlayer/internal/query"
-	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
 
@@ -35,13 +36,26 @@ func main() {
 			Expression: keyexpr.GroupBy(keyexpr.Field("salary"), keyexpr.Field("department"))}, "Employee").
 		MustBuild()
 
-	// 2. A database and a record store: the store's subspace encapsulates
-	//    the entire logical database (§3).
+	// 2. The façade: a database, a retrying Runner, and a StoreProvider that
+	//    routes each tenant to its own record store (§5). The keyspace
+	//    template has one variable directory, so Open takes one tenant value.
 	db := fdb.Open(nil)
-	space := subspace.FromTuple(tuple.Tuple{"quickstart"})
+	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "quickstart").Add(
+			keyspace.NewDirectory("org", keyspace.TypeString)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider, err := recordlayer.NewStoreProvider(md, ks,
+		[]string{"app", "org"}, recordlayer.ProviderOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
-	// 3. Save records — every applicable index is maintained in the same
-	//    transaction (§6).
+	// 3. Save records inside one Run: conflicts retry automatically, and
+	//    every applicable index is maintained in the same transaction (§6).
 	people := []struct {
 		id     int64
 		name   string
@@ -54,8 +68,8 @@ func main() {
 		{4, "dave", "engineering", 95_000},
 		{5, "erin", "design", 130_000},
 	}
-	_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{CreateIfMissing: true})
+	_, err = runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, "acme")
 		if err != nil {
 			return nil, err
 		}
@@ -73,11 +87,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. A declarative query, planned onto the compound index: engineering
-	//    employees earning over 100k, sorted by salary (§3.1: sorts ride on
-	//    indexes).
-	planner := plan.New(md, plan.Config{})
-	q := query.RecordQuery{
+	// 4. A declarative query executed fluently: planning goes through the
+	//    provider's plan cache (Appendix C's PREPARE idiom), and the plan
+	//    rides the compound index so the sort is free (§3.1).
+	q := recordlayer.Query{
 		RecordTypes: []string{"Employee"},
 		Filter: query.And(
 			query.Field("department").Equals("engineering"),
@@ -85,33 +98,55 @@ func main() {
 		),
 		Sort: keyexpr.Field("salary"),
 	}
-	p, err := planner.Plan(q)
-	if err != nil {
-		log.Fatal(err)
+
+	// Page two records at a time: the continuation is the only state carried
+	// between transactions, so any stateless server could serve each page.
+	props := recordlayer.ExecuteProperties{RowLimit: 2, Snapshot: true}
+	page := 0
+	for {
+		res, err := runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := provider.Open(ctx, tr, "acme")
+			if err != nil {
+				return nil, err
+			}
+			if page == 0 {
+				pl, err := store.Plan(q)
+				if err != nil {
+					return nil, err
+				}
+				fmt.Printf("query: %s\nplan:  %s\n\n", q, pl)
+			}
+			cur, err := store.ExecuteQuery(ctx, q, props)
+			if err != nil {
+				return nil, err
+			}
+			err = cur.ForEach(func(r *recordlayer.Record) error {
+				name, _ := r.Message.Get("name")
+				salary, _ := r.Message.Get("salary")
+				fmt.Printf("  %-8v $%v\n", name, salary)
+				return nil
+			})
+			return cur, err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur := res.(*recordlayer.RecordCursor)
+		page++
+		if cur.Exhausted() {
+			break
+		}
+		props = props.WithContinuation(cur.Continuation())
 	}
-	fmt.Printf("query: %s\nplan:  %s\n\n", q, p)
+	fmt.Printf("(%d pages, plan cache: %+v)\n", page, provider.PlanCacheStats())
 
-	_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{})
+	// 5. Aggregates come from atomic-mutation indexes: reading a SUM is one
+	//    key read, and concurrent updates never conflict (§7).
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, "acme")
 		if err != nil {
 			return nil, err
 		}
-		c, err := p.Execute(store, plan.ExecuteOptions{})
-		if err != nil {
-			return nil, err
-		}
-		recs, _, _, err := cursor.Collect(c)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range recs {
-			name, _ := r.Message.Get("name")
-			salary, _ := r.Message.Get("salary")
-			fmt.Printf("  %-8v $%v\n", name, salary)
-		}
-
-		// 5. Aggregates come from atomic-mutation indexes: reading a SUM is
-		//    one key read, and concurrent updates never conflict (§7).
 		for _, dept := range []string{"engineering", "design"} {
 			sum, err := store.AggregateInt64("salary_sum", tuple.Tuple{dept})
 			if err != nil {

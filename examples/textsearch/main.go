@@ -1,18 +1,21 @@
 // Text search example (Appendix B, §8.1): a transactional personalized text
 // index — token, prefix, phrase and proximity search with no separate search
-// system to operate, and results that always reflect the latest writes.
+// system to operate, and results that always reflect the latest writes. Each
+// user's notes live in their own record store, opened through the façade's
+// StoreProvider.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"recordlayer/internal/core"
+	"recordlayer"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
-	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
 
@@ -30,7 +33,20 @@ func main() {
 		MustBuild()
 
 	db := fdb.Open(nil)
-	space := subspace.FromTuple(tuple.Tuple{"textsearch"})
+	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "textsearch").Add(
+			keyspace.NewDirectory("user", keyspace.TypeInt64)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider, err := recordlayer.NewStoreProvider(md, ks,
+		[]string{"app", "user"}, recordlayer.ProviderOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	const user = int64(1)
 
 	docs := []string{
 		"Call me Ishmael. Some years ago I thought I would sail about a little",
@@ -39,8 +55,8 @@ func main() {
 		"It is not down on any map; true places never are",
 		"The whale, the white whale! Moby Dick had been sighted",
 	}
-	_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{CreateIfMissing: true})
+	_, err = runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, user)
 		if err != nil {
 			return nil, err
 		}
@@ -56,8 +72,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	_, err = db.ReadTransact(func(tr *fdb.Transaction) (interface{}, error) {
-		store, err := core.Open(tr, md, space, core.OpenOptions{})
+	_, err = runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := provider.Open(ctx, tr, user)
 		if err != nil {
 			return nil, err
 		}

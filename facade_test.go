@@ -1,0 +1,366 @@
+package recordlayer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/query"
+)
+
+func testSchema(t testing.TB) (*message.Descriptor, *metadata.MetaData) {
+	t.Helper()
+	doc := message.MustDescriptor("Doc",
+		message.Field("id", 1, message.TypeInt64),
+		message.Field("tag", 2, message.TypeString),
+	)
+	md := metadata.NewBuilder(1).
+		AddRecordType(doc, keyexpr.Field("id")).
+		AddIndex(&metadata.Index{Name: "by_tag", Type: metadata.IndexValue,
+			Expression: keyexpr.Then(keyexpr.Field("tag"), keyexpr.Field("id"))}, "Doc").
+		MustBuild()
+	return doc, md
+}
+
+func testProvider(t testing.TB, md *metadata.MetaData) *StoreProvider {
+	t.Helper()
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "facade-test").Add(
+			keyspace.NewDirectory("user", keyspace.TypeInt64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewStoreProvider(md, ks, []string{"app", "user"}, ProviderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func saveDocs(t testing.TB, r *Runner, p *StoreProvider, user int64, n int) {
+	t.Helper()
+	_, err := r.Run(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := p.Open(ctx, tr, user)
+		if err != nil {
+			return nil, err
+		}
+		doc, _ := testSchema(t)
+		for i := 0; i < n; i++ {
+			tag := "even"
+			if i%2 == 1 {
+				tag = "odd"
+			}
+			rec := message.New(doc).MustSet("id", int64(i)).MustSet("tag", tag)
+			if _, err := store.SaveRecord(rec); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProviderTenantIsolation checks the multi-tenant routing: two tenants
+// opened through one provider land in disjoint subspaces.
+func TestProviderTenantIsolation(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 1, 6)
+	saveDocs(t, r, p, 2, 3)
+
+	ctx := context.Background()
+	counts := map[int64]int{}
+	for _, user := range []int64{1, 2} {
+		user := user
+		_, err := r.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := p.Open(ctx, tr, user)
+			if err != nil {
+				return nil, err
+			}
+			cur, err := store.ExecuteQuery(ctx, Query{RecordTypes: []string{"Doc"}}, ExecuteProperties{})
+			if err != nil {
+				return nil, err
+			}
+			recs, err := cur.ToList()
+			if err != nil {
+				return nil, err
+			}
+			counts[user] = len(recs)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counts[1] != 6 || counts[2] != 3 {
+		t.Fatalf("counts = %v, want 6 and 3", counts)
+	}
+}
+
+// TestContinuationResumeAcrossRuns pages a query with RowLimit across
+// separate Runner.Run transactions via continuations (the acceptance
+// criterion: each page is its own transaction, the continuation is the only
+// state carried between them).
+func TestContinuationResumeAcrossRuns(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 7, 10)
+
+	ctx := context.Background()
+	q := Query{RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals("even")}
+	props := ExecuteProperties{RowLimit: 2}
+	var ids []int64
+	pages := 0
+	for {
+		res, err := r.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := p.Open(ctx, tr, int64(7))
+			if err != nil {
+				return nil, err
+			}
+			cur, err := store.ExecuteQuery(ctx, q, props)
+			if err != nil {
+				return nil, err
+			}
+			err = cur.ForEach(func(rec *Record) error {
+				id, _ := rec.Message.Get("id")
+				ids = append(ids, id.(int64))
+				return nil
+			})
+			return cur, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := res.(*RecordCursor)
+		pages++
+		if cur.Exhausted() {
+			break
+		}
+		if cur.NoNextReason() != cursor.ReturnLimitReached {
+			t.Fatalf("page %d stopped for %v", pages, cur.NoNextReason())
+		}
+		props = props.WithContinuation(cur.Continuation())
+		if pages > 10 {
+			t.Fatal("paging did not terminate")
+		}
+	}
+	want := []int64{0, 2, 4, 6, 8}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if pages < 3 {
+		t.Fatalf("expected >= 3 pages of 2, got %d", pages)
+	}
+	// Paging the same query shape hits the plan cache after the first page.
+	if st := p.PlanCacheStats(); st.Hits < int64(pages-1) || st.Misses != 1 {
+		t.Fatalf("plan cache stats = %+v", st)
+	}
+}
+
+// TestCtxDeadlineSurfacesAsTimeLimit checks that a context deadline becomes
+// the execution time budget: the scan halts in-band with TimeLimitReached
+// and a continuation that resumes in a later, unconstrained transaction.
+func TestCtxDeadlineSurfacesAsTimeLimit(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 3, 8)
+
+	// A manual clock that advances 40ms per observation against a 100ms
+	// deadline: the limiter trips after a few records.
+	base := time.Now()
+	step := 0
+	clock := func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * 30 * time.Millisecond)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), base.Add(100*time.Millisecond))
+	defer cancel()
+
+	var first []int64
+	var cont []byte
+	res, err := r.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		first = nil
+		store, err := p.Open(ctx, tr, int64(3))
+		if err != nil {
+			return nil, err
+		}
+		cur, err := store.ExecuteQuery(ctx, Query{RecordTypes: []string{"Doc"}},
+			ExecuteProperties{Clock: clock})
+		if err != nil {
+			return nil, err
+		}
+		err = cur.ForEach(func(rec *Record) error {
+			id, _ := rec.Message.Get("id")
+			first = append(first, id.(int64))
+			return nil
+		})
+		return cur, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := res.(*RecordCursor)
+	if cur.NoNextReason() != cursor.TimeLimitReached {
+		t.Fatalf("reason = %v, want TimeLimitReached", cur.NoNextReason())
+	}
+	if len(first) == 0 || len(first) >= 8 {
+		t.Fatalf("first page = %v, want partial progress", first)
+	}
+	cont = cur.Continuation()
+	if cont == nil {
+		t.Fatal("expected a resumable continuation")
+	}
+
+	// Resume in a fresh transaction without a deadline.
+	var rest []int64
+	_, err = r.Run(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		rest = nil
+		store, err := p.Open(ctx, tr, int64(3))
+		if err != nil {
+			return nil, err
+		}
+		cur, err := store.ExecuteQuery(ctx, Query{RecordTypes: []string{"Doc"}},
+			ExecuteProperties{Continuation: cont})
+		if err != nil {
+			return nil, err
+		}
+		return nil, cur.ForEach(func(rec *Record) error {
+			id, _ := rec.Message.Get("id")
+			rest = append(rest, id.(int64))
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]int64{}, first...), rest...)
+	if len(got) != 8 {
+		t.Fatalf("resumed stream covered %v, want all 8 records", got)
+	}
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("resumed stream out of order: %v", got)
+		}
+	}
+}
+
+// TestSnapshotExecutionAvoidsConflict checks ExecuteProperties.Snapshot end
+// to end: a long query at snapshot isolation does not conflict with a
+// concurrent writer, while the same query with serializable reads does.
+func TestSnapshotExecutionAvoidsConflict(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 5, 6)
+	doc, _ := testSchema(t)
+
+	// Cover both executions: the full scan (record scan path) and the
+	// indexed query (index entry scan + record fetch path).
+	queries := map[string]Query{
+		"fullscan": {RecordTypes: []string{"Doc"}},
+		"indexed":  {RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals("even")},
+	}
+	rewrite := 0
+	for qname, q := range queries {
+		for _, snapshot := range []bool{true, false} {
+			conflicts := db.Metrics().Conflicts.Load()
+			tr := db.CreateTransaction()
+			ctx := context.Background()
+			store, err := p.Open(ctx, tr, int64(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur, err := store.ExecuteQuery(ctx, q, ExecuteProperties{Snapshot: snapshot})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cur.ToList(); err != nil {
+				t.Fatal(err)
+			}
+			// A concurrent writer updates a record the query scanned and
+			// fetched (id 2 has tag "even").
+			rewrite++
+			_, err = r.Run(ctx, func(ctx context.Context, wtr *fdb.Transaction) (interface{}, error) {
+				ws, err := p.Open(ctx, wtr, int64(5))
+				if err != nil {
+					return nil, err
+				}
+				rec := message.New(doc).MustSet("id", int64(2)).MustSet("tag", "even")
+				_, err = ws.SaveRecord(rec)
+				return nil, err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Set([]byte(fmt.Sprintf("marker-%d", rewrite)), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			commitErr := tr.Commit()
+			if snapshot {
+				if commitErr != nil {
+					t.Fatalf("%s: snapshot query transaction should commit, got %v", qname, commitErr)
+				}
+			} else {
+				if !fdb.IsConflict(commitErr) {
+					t.Fatalf("%s: serializable query transaction should conflict, got %v", qname, commitErr)
+				}
+				if db.Metrics().Conflicts.Load() != conflicts+1 {
+					t.Fatalf("%s: expected a recorded conflict", qname)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheLRU checks eviction order and stats accounting.
+func TestPlanCacheLRU(t *testing.T) {
+	_, md := testSchema(t)
+	c := NewPlanCache(2)
+	mk := func(tag string) (string, Query) {
+		q := Query{RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals(tag)}
+		return fingerprint(md, q), q
+	}
+	ka, _ := mk("a")
+	kb, _ := mk("b")
+	kc, _ := mk("c")
+	c.Put(ka, nil)
+	c.Put(kb, nil)
+	if _, ok := c.Get(ka); !ok { // a is now most recently used
+		t.Fatal("a should be cached")
+	}
+	c.Put(kc, nil) // evicts b
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get(ka); !ok {
+		t.Fatal("a should survive")
+	}
+	if _, ok := c.Get(kc); !ok {
+		t.Fatal("c should be cached")
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

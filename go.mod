@@ -1,0 +1,3 @@
+module recordlayer
+
+go 1.22

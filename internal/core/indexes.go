@@ -53,8 +53,15 @@ func (s *Store) ScanIndex(name string, r index.TupleRange, opts index.ScanOption
 // FetchIndexed resolves index entries to their records — an index scan
 // followed by record fetches by primary key.
 func (s *Store) FetchIndexed(entries cursor.Cursor[index.Entry]) cursor.Cursor[*StoredRecord] {
+	return s.FetchIndexedSnapshot(entries, false)
+}
+
+// FetchIndexedSnapshot is FetchIndexed with optional snapshot-isolation
+// record reads, so a snapshot query execution adds no read conflict ranges
+// for the fetches either.
+func (s *Store) FetchIndexedSnapshot(entries cursor.Cursor[index.Entry], snapshot bool) cursor.Cursor[*StoredRecord] {
 	return cursor.Map(entries, func(e index.Entry) (*StoredRecord, error) {
-		rec, err := s.LoadRecordByKey(e.PrimaryKey)
+		rec, err := s.loadRecordByKey(e.PrimaryKey, snapshot)
 		if err != nil {
 			return nil, err
 		}

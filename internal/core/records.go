@@ -203,8 +203,18 @@ func mustMarshal(m *message.Message) []byte {
 // LoadRecordByKey fetches one record by primary key; nil when absent. The
 // version slot and all record chunks arrive in a single range read (§4).
 func (s *Store) LoadRecordByKey(pk tuple.Tuple) (*StoredRecord, error) {
+	return s.loadRecordByKey(pk, false)
+}
+
+func (s *Store) loadRecordByKey(pk tuple.Tuple, snapshot bool) (*StoredRecord, error) {
 	b, e := s.recordRange(pk)
-	kvs, _, err := s.tr.GetRange(b, e, fdb.RangeOptions{})
+	var kvs []fdb.KeyValue
+	var err error
+	if snapshot {
+		kvs, _, err = s.tr.Snapshot().GetRange(b, e, fdb.RangeOptions{})
+	} else {
+		kvs, _, err = s.tr.GetRange(b, e, fdb.RangeOptions{})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +326,8 @@ type ScanOptions struct {
 	Continuation []byte
 	// Range restricts the scan to a primary key interval.
 	Range index.TupleRange
+	// Snapshot reads without adding read conflict ranges.
+	Snapshot bool
 }
 
 // ScanRecords streams records in primary key order. All record types share
@@ -341,8 +353,9 @@ func (s *Store) ScanRecords(opts ScanOptions) cursor.Cursor[*StoredRecord] {
 		}
 	}
 	kvs := kvcursor.New(s.tr, begin, end, kvcursor.Options{
-		Reverse: opts.Reverse,
-		Limiter: opts.Limiter,
+		Reverse:  opts.Reverse,
+		Limiter:  opts.Limiter,
+		Snapshot: opts.Snapshot,
 	})
 	return &recordCursor{store: s, kvs: kvs, reverse: opts.Reverse}
 }

@@ -52,7 +52,23 @@ type Options struct {
 	// that SetReadVersion (read-version caching, §4) can read slightly stale
 	// snapshots.
 	SnapshotHistory int
+	// RetryLimit caps how many times Transact/ReadTransact re-run their
+	// closure after a retryable error (so RetryLimit N allows N+1 attempts),
+	// matching the real bindings' transaction_retry_limit option. 0 means
+	// the default (100); negative means unlimited (the historical behavior).
+	RetryLimit int
+	// RetryBackoff is the initial delay between retries, doubling per retry
+	// up to MaxRetryBackoff (the bindings' max_retry_delay). Defaults to
+	// 1ms / 64ms.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// Sleep performs the backoff delay; tests inject a no-op or recorder.
+	// Defaults to time.Sleep.
+	Sleep func(time.Duration)
 }
+
+// DefaultRetryLimit is the retry cap applied when Options.RetryLimit is 0.
+const DefaultRetryLimit = 100
 
 type commitRecord struct {
 	version int64
@@ -97,6 +113,18 @@ func Open(opts *Options) *Database {
 	}
 	if o.SnapshotHistory <= 0 {
 		o.SnapshotHistory = 64
+	}
+	if o.RetryLimit == 0 {
+		o.RetryLimit = DefaultRetryLimit
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
+	if o.MaxRetryBackoff <= 0 {
+		o.MaxRetryBackoff = 64 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
 	}
 	return &Database{opts: o}
 }
@@ -199,38 +227,44 @@ func (d *Database) commit(t *Transaction) (int64, error) {
 
 // Transact runs f in a retry loop: the transaction is committed after f
 // returns nil, and retried (with a fresh read version) on retryable errors,
-// mirroring the bindings' standard idiom.
+// mirroring the bindings' standard idiom. Retries are bounded by
+// Options.RetryLimit and spaced by exponential backoff so a persistently
+// conflicting workload degrades into errors instead of spinning forever.
 func (d *Database) Transact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
-	for {
+	return d.transact(f, true)
+}
+
+// ReadTransact runs f in a read-only transaction (no commit).
+func (d *Database) ReadTransact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
+	return d.transact(f, false)
+}
+
+func (d *Database) transact(f func(*Transaction) (interface{}, error), commit bool) (interface{}, error) {
+	backoff := d.opts.RetryBackoff
+	for retries := 0; ; retries++ {
 		tr := d.CreateTransaction()
 		v, err := f(tr)
 		if err == nil {
+			if !commit {
+				return v, nil
+			}
 			err = tr.Commit()
 			if err == nil {
 				return v, nil
 			}
 		}
-		if IsRetryable(err) {
-			d.metrics.Retries.Add(1)
-			continue
+		if !IsRetryable(err) {
+			return nil, err
 		}
-		return nil, err
-	}
-}
-
-// ReadTransact runs f in a read-only transaction (no commit).
-func (d *Database) ReadTransact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
-	for {
-		tr := d.CreateTransaction()
-		v, err := f(tr)
-		if err == nil {
-			return v, nil
+		if d.opts.RetryLimit > 0 && retries >= d.opts.RetryLimit {
+			return nil, err
 		}
-		if IsRetryable(err) {
-			d.metrics.Retries.Add(1)
-			continue
+		d.metrics.Retries.Add(1)
+		d.opts.Sleep(backoff)
+		backoff *= 2
+		if backoff > d.opts.MaxRetryBackoff {
+			backoff = d.opts.MaxRetryBackoff
 		}
-		return nil, err
 	}
 }
 

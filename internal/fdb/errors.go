@@ -1,6 +1,9 @@
 package fdb
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Error codes mirror FoundationDB's numbering so client code (the Record
 // Layer) can make the same retry decisions it would against a real cluster.
@@ -40,14 +43,16 @@ func errCode(code int, format string, args ...interface{}) *Error {
 	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
 }
 
-// IsRetryable reports whether err is a retryable FoundationDB error.
+// IsRetryable reports whether err is (or wraps) a retryable FoundationDB
+// error.
 func IsRetryable(err error) bool {
-	fe, ok := err.(*Error)
-	return ok && fe.Retryable()
+	var fe *Error
+	return errors.As(err, &fe) && fe.Retryable()
 }
 
-// IsConflict reports whether err is a transaction conflict (not_committed).
+// IsConflict reports whether err is (or wraps) a transaction conflict
+// (not_committed).
 func IsConflict(err error) bool {
-	fe, ok := err.(*Error)
-	return ok && fe.Code == CodeNotCommitted
+	var fe *Error
+	return errors.As(err, &fe) && fe.Code == CodeNotCommitted
 }

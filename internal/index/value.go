@@ -174,6 +174,8 @@ type ScanOptions struct {
 	Reverse      bool
 	Limiter      *cursor.Limiter
 	Continuation []byte
+	// Snapshot reads without adding read conflict ranges.
+	Snapshot bool
 }
 
 // Scan streams index entries in the tuple range in key order.
@@ -186,6 +188,7 @@ func (m *ValueMaintainer) Scan(ctx *Context, r TupleRange, opts ScanOptions) (cu
 		Reverse:      opts.Reverse,
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
+		Snapshot:     opts.Snapshot,
 	})
 	space := ctx.Space
 	return cursor.Map(kvs, func(kv fdb.KeyValue) (Entry, error) {

@@ -107,6 +107,7 @@ func (m *VersionMaintainer) Scan(ctx *Context, r TupleRange, opts ScanOptions) (
 		Reverse:      opts.Reverse,
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
+		Snapshot:     opts.Snapshot,
 	})
 	space := ctx.Space
 	return cursor.Map(kvs, func(kv fdb.KeyValue) (Entry, error) {

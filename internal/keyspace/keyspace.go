@@ -165,6 +165,51 @@ func (ks *KeySpace) MustPath(name string, value ...interface{}) Path {
 	return p
 }
 
+// PathFor compiles a template — a root-to-leaf sequence of directory names —
+// into a Path, consuming one value from values for each variable (non
+// constant) directory along the way. This is the per-request tenant routing
+// idiom (§5): a provider holds the template and each request supplies only
+// the tenant-identifying values.
+func (ks *KeySpace) PathFor(names []string, values ...interface{}) (Path, error) {
+	if len(names) == 0 {
+		return Path{}, fmt.Errorf("keyspace: empty path template")
+	}
+	p := Path{ks: ks}
+	parent := ks.root
+	vi := 0
+	for _, name := range names {
+		var dir *Directory
+		for _, c := range parent.children {
+			if c.name == name {
+				dir = c
+				break
+			}
+		}
+		if dir == nil {
+			return Path{}, fmt.Errorf("keyspace: no directory %q under %q", name, parent.name)
+		}
+		var err error
+		if dir.typ == TypeConstant {
+			p, err = p.Add(name)
+		} else {
+			if vi >= len(values) {
+				return Path{}, fmt.Errorf("keyspace: template %v needs a value for directory %q but only %d supplied",
+					names, name, len(values))
+			}
+			p, err = p.Add(name, values[vi])
+			vi++
+		}
+		if err != nil {
+			return Path{}, err
+		}
+		parent = dir
+	}
+	if vi != len(values) {
+		return Path{}, fmt.Errorf("keyspace: template %v consumed %d of %d supplied values", names, vi, len(values))
+	}
+	return p, nil
+}
+
 // Add extends the path one level down.
 func (p Path) Add(name string, value ...interface{}) (Path, error) {
 	parent := p.ks.root

@@ -151,3 +151,49 @@ func TestIntNormalization(t *testing.T) {
 		t.Fatal("int not normalized to int64")
 	}
 }
+
+func TestPathForTemplate(t *testing.T) {
+	db, ks := cloudKitTree(t)
+	// Variable directories consume the supplied values in template order;
+	// constants take none.
+	p, err := ks.PathFor([]string{"cloudkit", "user", "application", "data"},
+		int64(42), "com.example.notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ks.MustPath("cloudkit").
+		MustAdd("user", int64(42)).
+		MustAdd("application", "com.example.notes").
+		MustAdd("data")
+	got, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		return p.ToTuple(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		return want.ToTuple(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.(tuple.Tuple).Pack(), wantT.(tuple.Tuple).Pack()) {
+		t.Fatalf("PathFor compiled %v, manual path %v", got, wantT)
+	}
+}
+
+func TestPathForValueCountMismatch(t *testing.T) {
+	_, ks := cloudKitTree(t)
+	if _, err := ks.PathFor([]string{"cloudkit", "user"}); err == nil {
+		t.Fatal("missing value should fail")
+	}
+	if _, err := ks.PathFor([]string{"cloudkit", "user"}, int64(1), int64(2)); err == nil {
+		t.Fatal("extra value should fail")
+	}
+	if _, err := ks.PathFor([]string{"nope"}); err == nil {
+		t.Fatal("unknown directory should fail")
+	}
+	if _, err := ks.PathFor(nil); err == nil {
+		t.Fatal("empty template should fail")
+	}
+}

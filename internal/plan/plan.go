@@ -21,6 +21,9 @@ type ExecuteOptions struct {
 	Continuation []byte
 	// Limiter enforces record/byte/time limits (§8.2); nil is unlimited.
 	Limiter *cursor.Limiter
+	// Snapshot executes every scan at snapshot isolation: reads add no
+	// conflict ranges, so long queries never abort concurrent writers.
+	Snapshot bool
 }
 
 // Plan is an executable query plan. Plans are immutable and reusable across
@@ -59,6 +62,7 @@ func (p *FullScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curso
 		Reverse:      p.Reverse,
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
+		Snapshot:     opts.Snapshot,
 	})
 	if len(p.Types) == 0 {
 		return c, nil
@@ -104,11 +108,12 @@ func (p *IndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curs
 		Reverse:      p.Reverse,
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
+		Snapshot:     opts.Snapshot,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return s.FetchIndexed(entries), nil
+	return s.FetchIndexedSnapshot(entries, opts.Snapshot), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -227,7 +232,7 @@ func (p *UnionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*
 		for i, child := range p.Children {
 			child := child
 			builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-				c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter})
+				c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter, Snapshot: opts.Snapshot})
 				if err != nil {
 					return errPlanCursor(err)
 				}
@@ -240,7 +245,7 @@ func (p *UnionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*
 	for i, child := range p.Children {
 		child := child
 		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter})
+			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter, Snapshot: opts.Snapshot})
 			if err != nil {
 				return errPlanCursor(err)
 			}
@@ -304,7 +309,7 @@ func (p *IntersectionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.C
 	for i, child := range p.Children {
 		child := child
 		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter})
+			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter, Snapshot: opts.Snapshot})
 			if err != nil {
 				return errPlanCursor(err)
 			}

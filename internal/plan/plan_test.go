@@ -186,6 +186,66 @@ func TestCompoundIndexPrefixPlusRange(t *testing.T) {
 	}
 }
 
+func TestBothRangeBoundsAbsorbed(t *testing.T) {
+	env := newPlanEnv(t)
+	// Equality prefix plus a two-sided range on the next column: both bounds
+	// ride the index range; no residual filter and no over-scan.
+	q := query.RecordQuery{RecordTypes: []string{"Person"},
+		Filter: query.And(
+			query.Field("city").Equals("paris"),
+			query.Field("age").GreaterThan(28),
+			query.Field("age").LessOrEqual(34),
+		)}
+	h := New(env.md, Config{})
+	p, err := h.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "Index(by_city_age") {
+		t.Fatalf("expected compound index, got %s", p)
+	}
+	if strings.Contains(p.String(), "Filter") {
+		t.Fatalf("all three conjuncts should be absorbed into the range: %s", p)
+	}
+	ids, _, _ := env.run(t, p, ExecuteOptions{})
+	// paris, 28 < age <= 34: alice(34), erin(34).
+	if !idsEqual(ids, 1, 5) {
+		t.Fatalf("ids %v", ids)
+	}
+	// The scan must touch only the matching entries, not the whole index.
+	lim := cursor.NewLimiter(2, 0, time.Time{}, timeZero)
+	ids, reason, _ := env.run(t, p, ExecuteOptions{Limiter: lim})
+	if !idsEqual(ids, 1, 5) || reason != cursor.SourceExhausted {
+		t.Fatalf("bounded scan read extra entries: ids %v reason %v", ids, reason)
+	}
+}
+
+func TestFanOutBoundsNotIntersected(t *testing.T) {
+	env := newPlanEnv(t)
+	// One-of-them conjuncts can be satisfied by *different* elements of the
+	// repeated field, so the planner must not fold both bounds into a single
+	// (here inverted, hence empty) entry range.
+	q := query.RecordQuery{RecordTypes: []string{"Person"},
+		Filter: query.And(
+			query.Field("tags").OneOfThem().GreaterThan("e"),
+			query.Field("tags").OneOfThem().LessThan("d"),
+		)}
+	h := New(env.md, Config{})
+	p, err := h.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "Filter") {
+		t.Fatalf("second fan-out bound must stay residual: %s", p)
+	}
+	ids, _, _ := env.run(t, p, ExecuteOptions{})
+	// alice(1): eng > e, chess < d. frank(6): eng > e, art < d.
+	// erin(5): go > e, chess < d. (carol's only tag eng fails < d.)
+	if !idsEqual(ids, 1, 6, 5) {
+		t.Fatalf("ids %v, want [1 6 5]", ids)
+	}
+}
+
 func TestResidualFilter(t *testing.T) {
 	env := newPlanEnv(t)
 	q := query.RecordQuery{RecordTypes: []string{"Person"},

@@ -266,6 +266,37 @@ func (p *Planner) matchIndex(ix *metadata.Index, q query.RecordQuery, conjuncts 
 					highInc = false
 				}
 			}
+			// A complementary bound on the same column (lo <= x AND x < hi)
+			// also rides the index range instead of a residual filter — but
+			// not on fan-out columns, where each one-of-them conjunct may be
+			// satisfied by a different element, so intersecting the bounds
+			// into one entry range would drop matches.
+			var wantOps []query.Comparison
+			if cols[ci].Fan != keyexpr.FanOut {
+				switch fc.Op {
+				case query.GT, query.GE:
+					wantOps = []query.Comparison{query.LT, query.LE}
+				case query.LT, query.LE:
+					wantOps = []query.Comparison{query.GT, query.GE}
+				}
+			}
+			if len(wantOps) > 0 {
+				if idx2, fc2 := findRangeOp(conjuncts, cols[ci], idx, wantOps); fc2 != nil {
+					m.used = append(m.used, idx2)
+					switch fc2.Op {
+					case query.GT:
+						low = low.Append(fc2.Operand)
+						lowInc = false
+					case query.GE:
+						low = low.Append(fc2.Operand)
+					case query.LT:
+						high = high.Append(fc2.Operand)
+						highInc = false
+					case query.LE:
+						high = high.Append(fc2.Operand)
+					}
+				}
+			}
 		}
 	}
 	// Sort satisfaction: after the equality-bound prefix, the next columns
@@ -359,6 +390,37 @@ func findRange(conjuncts []*conjunct, col keyexpr.Column) (int, *query.FieldComp
 		switch c.field.Op {
 		case query.LT, query.LE, query.GT, query.GE, query.StartsWith:
 		default:
+			continue
+		}
+		if !pathEqual(c.field.Path(), col.Path) {
+			continue
+		}
+		if c.field.AnyOf() != (col.Fan == keyexpr.FanOut) {
+			continue
+		}
+		return i, c.field
+	}
+	return -1, nil
+}
+
+// findRangeOp locates an unconsumed range conjunct for an index column with
+// one of the given operators, skipping the conjunct at index exclude.
+func findRangeOp(conjuncts []*conjunct, col keyexpr.Column, exclude int, ops []query.Comparison) (int, *query.FieldComponent) {
+	if col.Kind != keyexpr.ColField {
+		return -1, nil
+	}
+	for i, c := range conjuncts {
+		if i == exclude || c.consumed || c.field == nil {
+			continue
+		}
+		matched := false
+		for _, op := range ops {
+			if c.field.Op == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
 			continue
 		}
 		if !pathEqual(c.field.Path(), col.Path) {

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"recordlayer"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/query"
+)
+
+// MixConfig sizes a CloudKit-style operation mix (§8.2) driven end-to-end
+// through the public recordlayer façade: per-tenant record stores opened via
+// a StoreProvider, writes through Runner.Run, and zone queries through
+// ExecuteQuery under per-request limits.
+type MixConfig struct {
+	// Tenants is how many per-user record stores the mix spreads over
+	// (default 4).
+	Tenants int
+	// Txns is how many write transactions to run, each shaped by TxnMix
+	// (default 50).
+	Txns int
+	// QueryEvery issues one zone query after every this many write
+	// transactions (default 4).
+	QueryEvery int
+	// Seed drives the deterministic workload shape.
+	Seed int64
+}
+
+func (c MixConfig) withDefaults() MixConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Txns <= 0 {
+		c.Txns = 50
+	}
+	if c.QueryEvery <= 0 {
+		c.QueryEvery = 4
+	}
+	return c
+}
+
+// MixStats reports what the mix did, including the runner's retry counters
+// and the plan cache's effectiveness.
+type MixStats struct {
+	Txns           int
+	RecordsWritten int
+	BytesWritten   int
+	Queries        int
+	RowsRead       int
+	Retries        int64
+	PlanCacheHits  int64
+	PlanCacheMiss  int64
+}
+
+var zones = []string{"personal", "work", "shared"}
+
+// RunMix executes the operation mix against a fresh simulated cluster. It is
+// the workload package's façade-consumption path: everything flows through
+// recordlayer.Runner / StoreProvider / ExecuteQuery rather than raw
+// db.Transact closures.
+func RunMix(ctx context.Context, cfg MixConfig) (MixStats, error) {
+	cfg = cfg.withDefaults()
+	note := message.MustDescriptor("Note",
+		message.Field("id", 1, message.TypeInt64),
+		message.Field("zone", 2, message.TypeString),
+		message.Field("body", 3, message.TypeString),
+		message.Field("bytes", 4, message.TypeInt64),
+	)
+	md, err := metadata.NewBuilder(1).
+		AddRecordType(note, keyexpr.Field("id")).
+		AddIndex(&metadata.Index{Name: "by_zone", Type: metadata.IndexValue,
+			Expression: keyexpr.Then(keyexpr.Field("zone"), keyexpr.Field("id"))}, "Note").
+		AddIndex(&metadata.Index{Name: "zone_bytes", Type: metadata.IndexSum,
+			Expression: keyexpr.GroupBy(keyexpr.Field("bytes"), keyexpr.Field("zone"))}, "Note").
+		Build()
+	if err != nil {
+		return MixStats{}, err
+	}
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "opmix").Add(
+			keyspace.NewDirectory("user", keyspace.TypeInt64)))
+	if err != nil {
+		return MixStats{}, err
+	}
+	provider, err := recordlayer.NewStoreProvider(md, ks, []string{"app", "user"},
+		recordlayer.ProviderOptions{})
+	if err != nil {
+		return MixStats{}, err
+	}
+	db := fdb.Open(nil)
+	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs := TxnMix(cfg.Txns, cfg.Seed)
+	var stats MixStats
+	nextID := make([]int64, cfg.Tenants)
+	for i, spec := range specs {
+		tenant := int64(rng.Intn(cfg.Tenants))
+		zone := zones[rng.Intn(len(zones))]
+		// Record contents are generated outside the transaction closure so a
+		// retried attempt re-saves identical data (Runner closures must be
+		// idempotent); stats are applied only after the Run succeeds.
+		recs := make([]*message.Message, len(spec.RecordSizes))
+		txnBytes := 0
+		for j, size := range spec.RecordSizes {
+			id := nextID[tenant]
+			nextID[tenant]++
+			recs[j] = message.New(note).
+				MustSet("id", id).
+				MustSet("zone", zone).
+				MustSet("body", NoteBody(rng, size)).
+				MustSet("bytes", int64(size))
+			txnBytes += size
+		}
+		_, err := runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := provider.Open(ctx, tr, tenant)
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range recs {
+				if _, err := store.SaveRecord(rec); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("workload: txn %d: %w", i, err)
+		}
+		stats.Txns++
+		stats.RecordsWritten += len(recs)
+		stats.BytesWritten += txnBytes
+
+		if (i+1)%cfg.QueryEvery != 0 {
+			continue
+		}
+		// A device sync-style read: this zone's notes, bounded per request.
+		q := query.RecordQuery{
+			RecordTypes: []string{"Note"},
+			Filter:      query.Field("zone").Equals(zone),
+		}
+		rows, err := runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := provider.Open(ctx, tr, tenant)
+			if err != nil {
+				return nil, err
+			}
+			cur, err := store.ExecuteQuery(ctx, q, recordlayer.ExecuteProperties{
+				RowLimit:        20,
+				ScanRecordLimit: 200,
+				Snapshot:        true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n := 0
+			err = cur.ForEach(func(*recordlayer.Record) error {
+				n++
+				return nil
+			})
+			return n, err
+		})
+		if err != nil {
+			return stats, fmt.Errorf("workload: query after txn %d: %w", i, err)
+		}
+		stats.Queries++
+		stats.RowsRead += rows.(int)
+	}
+	m := runner.Metrics()
+	stats.Retries = m.Retries
+	cs := provider.PlanCacheStats()
+	stats.PlanCacheHits, stats.PlanCacheMiss = cs.Hits, cs.Misses
+	return stats, nil
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunMixThroughFacade(t *testing.T) {
+	stats, err := RunMix(context.Background(), MixConfig{Tenants: 3, Txns: 24, QueryEvery: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Txns != 24 {
+		t.Fatalf("txns = %d, want 24", stats.Txns)
+	}
+	if stats.RecordsWritten == 0 || stats.BytesWritten == 0 {
+		t.Fatalf("no data written: %+v", stats)
+	}
+	if stats.Queries != 6 {
+		t.Fatalf("queries = %d, want 6", stats.Queries)
+	}
+	if stats.RowsRead == 0 {
+		t.Fatalf("queries returned no rows: %+v", stats)
+	}
+	// All six queries share three query shapes (one per zone), so the plan
+	// cache must serve repeats.
+	if stats.PlanCacheMiss > 3 || stats.PlanCacheHits < int64(stats.Queries)-3 {
+		t.Fatalf("plan cache ineffective: %+v", stats)
+	}
+}
+
+func TestRunMixDeterministicShape(t *testing.T) {
+	a, err := RunMix(context.Background(), MixConfig{Txns: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMix(context.Background(), MixConfig{Txns: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordsWritten != b.RecordsWritten || a.BytesWritten != b.BytesWritten || a.RowsRead != b.RowsRead {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

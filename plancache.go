@@ -1,0 +1,97 @@
+package recordlayer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"recordlayer/internal/metadata"
+	"recordlayer/internal/plan"
+	"recordlayer/internal/query"
+)
+
+// PlanCache is a bounded LRU cache of query plans keyed by query
+// fingerprint — the client-side "SQL PREPARE" idiom (Appendix C): planning
+// happens once per distinct query, and execution reuses the immutable plan
+// across stores and transactions. Safe for concurrent use.
+//
+// Plans bake comparison operands into their index ranges, so the
+// fingerprint necessarily includes operand values: queries that differ only
+// in literals are distinct cache entries. Workloads that parameterize a hot
+// query over many literals should pre-plan via Store.Plan and execute with
+// Store.ExecutePlan instead of relying on the cache.
+type PlanCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type planEntry struct {
+	key string
+	p   plan.Plan
+}
+
+// NewPlanCache creates a cache holding at most max plans (default 128 when
+// max <= 0).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &PlanCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// fingerprint derives the cache key for a query planned against a schema
+// version. RecordQuery.String is canonical over types, filter, and sort, and
+// the metadata version invalidates plans across schema evolution.
+func fingerprint(md *metadata.MetaData, q query.RecordQuery) string {
+	return fmt.Sprintf("v%d|%s", md.Version, q.String())
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+func (c *PlanCache) Get(key string) (plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*planEntry).p, true
+}
+
+// Put inserts or refreshes a plan, evicting the least recently used entry
+// when the cache is full.
+func (c *PlanCache) Put(key string, p plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planEntry).p = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&planEntry{key: key, p: p})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*planEntry).key)
+	}
+}
+
+// PlanCacheStats is a snapshot of cache effectiveness counters.
+type PlanCacheStats struct {
+	Hits, Misses int64
+	Size         int
+}
+
+// Stats returns a snapshot of hit/miss counters and current size.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len()}
+}

@@ -1,0 +1,174 @@
+package recordlayer
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"recordlayer/internal/fdb"
+)
+
+// TransactFunc is the body of one transactional attempt. The transaction is
+// committed after the function returns nil (for Run; ReadRun never commits).
+// The function may be invoked several times, so it must be idempotent with
+// respect to out-of-transaction state.
+type TransactFunc func(ctx context.Context, tr *fdb.Transaction) (interface{}, error)
+
+// RunnerOptions tunes the retry loop. The zero value gives sensible
+// production defaults.
+type RunnerOptions struct {
+	// MaxAttempts caps total attempts (first try plus retries); default 10.
+	MaxAttempts int
+	// InitialBackoff is the delay before the first retry; default 2ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponentially growing delay; default 250ms.
+	MaxBackoff time.Duration
+	// Rand supplies jitter in [0,1); default math/rand. The delay before
+	// retry n is backoff/2 + Rand()*backoff/2 (decorrelated half-jitter).
+	Rand func() float64
+	// Sleep waits between attempts and must honor ctx cancellation; tests
+	// inject an instant version. The default uses a timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (o RunnerOptions) withDefaults() RunnerOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 10
+	}
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = 2 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 250 * time.Millisecond
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
+	}
+	if o.Sleep == nil {
+		o.Sleep = sleepCtx
+	}
+	return o
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// RunnerMetrics is a point-in-time snapshot of a Runner's counters.
+type RunnerMetrics struct {
+	// Runs counts completed successful executions (Run + ReadRun).
+	Runs int64
+	// Retries counts re-executions after retryable errors.
+	Retries int64
+	// Failures counts executions that returned an error to the caller.
+	Failures int64
+}
+
+// RetryLimitError wraps the last retryable error once the attempt budget is
+// exhausted. Unwrap exposes the underlying *fdb.Error for errors.Is/As.
+type RetryLimitError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *RetryLimitError) Error() string {
+	return fmt.Sprintf("recordlayer: transaction failed after %d attempts: %v", e.Attempts, e.Last)
+}
+
+// Unwrap returns the final attempt's error.
+func (e *RetryLimitError) Unwrap() error { return e.Last }
+
+// Runner executes transactional closures against a database with the
+// standard Record Layer retry loop (§5): bounded attempts, exponential
+// backoff with jitter on retryable errors (conflicts, stale read versions,
+// timeouts), and context cancellation and deadline propagation. A Runner is
+// safe for concurrent use; one per database is typical.
+type Runner struct {
+	db   *fdb.Database
+	opts RunnerOptions
+
+	runs     atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+// NewRunner creates a runner over db. A zero RunnerOptions uses defaults.
+func NewRunner(db *fdb.Database, opts RunnerOptions) *Runner {
+	return &Runner{db: db, opts: opts.withDefaults()}
+}
+
+// Database returns the underlying database (for metrics and tooling).
+func (r *Runner) Database() *fdb.Database { return r.db }
+
+// Metrics returns a snapshot of the runner's counters.
+func (r *Runner) Metrics() RunnerMetrics {
+	return RunnerMetrics{
+		Runs:     r.runs.Load(),
+		Retries:  r.retries.Load(),
+		Failures: r.failures.Load(),
+	}
+}
+
+// Run executes fn transactionally: fn is retried on retryable errors and its
+// writes are committed after it returns nil. The context is checked before
+// every attempt and during backoff, so cancellation and deadlines interrupt
+// the loop promptly with ctx.Err().
+func (r *Runner) Run(ctx context.Context, fn TransactFunc) (interface{}, error) {
+	return r.run(ctx, fn, true)
+}
+
+// ReadRun executes fn as a read-only transaction: same retry semantics as
+// Run, but nothing is committed.
+func (r *Runner) ReadRun(ctx context.Context, fn TransactFunc) (interface{}, error) {
+	return r.run(ctx, fn, false)
+}
+
+func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interface{}, error) {
+	backoff := r.opts.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			r.failures.Add(1)
+			return nil, err
+		}
+		tr := r.db.CreateTransaction()
+		v, err := fn(ctx, tr)
+		if err == nil && commit {
+			err = tr.Commit()
+		}
+		if err == nil {
+			r.runs.Add(1)
+			return v, nil
+		}
+		if !fdb.IsRetryable(err) {
+			r.failures.Add(1)
+			return nil, err
+		}
+		if attempt >= r.opts.MaxAttempts {
+			r.failures.Add(1)
+			return nil, &RetryLimitError{Attempts: attempt, Last: err}
+		}
+		r.retries.Add(1)
+		delay := backoff/2 + time.Duration(r.opts.Rand()*float64(backoff/2))
+		if err := r.opts.Sleep(ctx, delay); err != nil {
+			r.failures.Add(1)
+			return nil, err
+		}
+		backoff *= 2
+		if backoff > r.opts.MaxBackoff {
+			backoff = r.opts.MaxBackoff
+		}
+	}
+}
+
+// IsRetryable reports whether err is an error the runner would retry (a
+// FoundationDB conflict, stale read version, or transaction timeout).
+func IsRetryable(err error) bool { return fdb.IsRetryable(err) }
