@@ -10,6 +10,7 @@ package recordlayer_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"recordlayer"
@@ -468,4 +469,71 @@ func BenchmarkKVTransactionCommit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------- governance
+
+// BenchmarkMultiTenant measures what tenant resource governance costs on the
+// single-tenant hot path — the acceptance bar is <10% per-op overhead for
+// governed (tenant-bound context, accountant metering every layer, governor
+// admission with generous limits) versus ungoverned runs of the same save
+// loop. The /parallel variants run tenants concurrently to exercise the
+// admission path under contention.
+func BenchmarkMultiTenant(b *testing.B) {
+	save := func(env benchEnv, ctx context.Context, i int) error {
+		_, err := env.runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			s, err := env.provider.Open(ctx, tr, benchTenant)
+			if err != nil {
+				return nil, err
+			}
+			rec := message.New(env.user).
+				MustSet("id", int64(i)).
+				MustSet("name", fmt.Sprintf("user-%06d", i)).
+				MustSet("score", int64(i))
+			_, err = s.SaveRecord(rec)
+			return nil, err
+		})
+		return err
+	}
+	governedEnv := func(b *testing.B) (benchEnv, context.Context) {
+		b.Helper()
+		env := benchFacade(b)
+		gov := recordlayer.NewGovernor(nil, recordlayer.GovernorOptions{})
+		gov.SetLimits("bench-tenant", recordlayer.TenantLimits{MaxConcurrent: 1 << 20})
+		env.runner = recordlayer.NewRunner(env.db, recordlayer.RunnerOptions{Governor: gov})
+		return env, recordlayer.WithTenant(context.Background(), "bench-tenant")
+	}
+
+	b.Run("ungoverned", func(b *testing.B) {
+		env := benchFacade(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := save(env, ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("governed", func(b *testing.B) {
+		env, ctx := governedEnv(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := save(env, ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("governed-parallel", func(b *testing.B) {
+		env, ctx := governedEnv(b)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := save(env, ctx, int(next.Add(1))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
 }

@@ -12,13 +12,16 @@
 //	go run ./cmd/experiments -run f5      # Figure 5 rank walkthrough
 //	go run ./cmd/experiments -run a1..a4  # ablations
 //	go run ./cmd/experiments -run mix     # façade-driven operation mix (§8.2)
+//	go run ./cmd/experiments -run nn      # noisy-neighbor tenant governance
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"recordlayer/internal/exp"
 	"recordlayer/internal/workload"
@@ -33,7 +36,7 @@ func main() {
 
 	ids := []string{*run}
 	if *run == "all" {
-		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4", "mix"}
+		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4", "mix", "nn"}
 	}
 	for i, id := range ids {
 		if i > 0 {
@@ -99,8 +102,80 @@ func runOne(id string, stores, docs, txns int) error {
 			stats.Queries, stats.RowsRead)
 		fmt.Fprintf(w, "  runner retries: %d; plan cache: %d hits / %d misses\n",
 			stats.Retries, stats.PlanCacheHits, stats.PlanCacheMiss)
+	case "nn":
+		return runNoisyNeighbor(w)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
+	return nil
+}
+
+// runNoisyNeighbor prints the tenant-governance isolation experiment: N
+// well-behaved tenants with and without an aggressor, with and without the
+// Governor.
+func runNoisyNeighbor(w io.Writer) error {
+	cfg := workload.NoisyConfig{Seed: 42}
+	fmt.Fprintln(w, "Noisy neighbor: per-tenant governance (Accountant + Governor)")
+	stats, err := workload.RunNoisyNeighbor(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	cfg = stats.Config
+	fmt.Fprintf(w, "  %d well-behaved tenants (3x200B txns) vs 1 aggressor (%d workers, 12x4kB txns)\n",
+		cfg.Victims, cfg.AggressorWorkers)
+	fmt.Fprintf(w, "  governed aggressor quota: %.0f txn/s, burst %d, concurrency 1 (cap %.0f txns/phase)\n\n",
+		cfg.AggressorRate, cfg.AggressorBurst, stats.AggressorCap)
+
+	printPhase := func(p workload.NoisyPhase) {
+		fmt.Fprintf(w, "  phase %-10s  victim p50 %8v  p95 %8v\n", p.Name, p.VictimP50, p.VictimP95)
+		for _, t := range p.Tenants {
+			line := fmt.Sprintf("    %-10s %6d txns  %8.0f txn/s", t.Tenant, t.Txns, t.Throughput)
+			if t.P50 > 0 {
+				line += fmt.Sprintf("  p50 %8v", t.P50)
+			}
+			if t.Rejections > 0 {
+				line += fmt.Sprintf("  (%d quota rejections)", t.Rejections)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	printPhase(stats.Baseline)
+	printPhase(stats.Ungoverned)
+	printPhase(stats.Governed)
+
+	ratio := func(p workload.NoisyPhase) float64 {
+		if stats.Baseline.VictimP50 == 0 {
+			return 0
+		}
+		return float64(p.VictimP50) / float64(stats.Baseline.VictimP50)
+	}
+	fmt.Fprintf(w, "\n  victim p50 vs baseline: ungoverned %.1fx, governed %.1fx (target <= 2x)\n",
+		ratio(stats.Ungoverned), ratio(stats.Governed))
+	aggressor := func(p workload.NoisyPhase) int {
+		for _, t := range p.Tenants {
+			if t.Tenant == "aggressor" {
+				return t.Txns
+			}
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "  aggressor throughput: ungoverned %d txns/phase -> governed %d (quota cap %.0f)\n",
+		aggressor(stats.Ungoverned), aggressor(stats.Governed), stats.AggressorCap)
+	if stats.Isolated {
+		fmt.Fprintln(w, "  ISOLATION HELD: governed victims within 2x of aggressor-free baseline")
+	} else {
+		fmt.Fprintln(w, "  isolation NOT held on this run/machine (timing-sensitive)")
+	}
+
+	un, gov, err := workload.MeasureGovernanceOverhead(context.Background(), 2000)
+	if err != nil {
+		return err
+	}
+	overhead := 0.0
+	if un > 0 {
+		overhead = (float64(gov)/float64(un) - 1) * 100
+	}
+	fmt.Fprintf(w, "  governance overhead (single tenant, generous limits): %v -> %v per txn (%+.1f%%)\n",
+		un.Round(time.Microsecond), gov.Round(time.Microsecond), overhead)
 	return nil
 }

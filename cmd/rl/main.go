@@ -5,13 +5,15 @@
 // bounded retry loop — narrating each step. Useful as a smoke test and as
 // living documentation.
 //
-//	go run ./cmd/rl
+//	go run ./cmd/rl           # the tour
+//	go run ./cmd/rl tenants   # resource governance: per-tenant usage snapshots
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"recordlayer"
 	"recordlayer/internal/fdb"
@@ -25,6 +27,124 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "tour":
+		case "tenants":
+			tenantsCmd()
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "usage: rl [tour|tenants]\n")
+			os.Exit(2)
+		}
+	}
+	tour()
+}
+
+// tenantsCmd drives a short governed multi-tenant workload and prints each
+// tenant's usage snapshot from the Accountant — the operator's view of who
+// is consuming the cluster.
+func tenantsCmd() {
+	db := fdb.Open(nil)
+	acct := recordlayer.NewAccountant()
+	gov := recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{})
+	gov.SetLimits("freeloader", recordlayer.TenantLimits{TxnPerSecond: 25, Burst: 5})
+	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{Governor: gov})
+	ctx := context.Background()
+
+	note := message.MustDescriptor("Note",
+		message.Field("id", 1, message.TypeInt64),
+		message.Field("zone", 2, message.TypeString),
+	)
+	md := metadata.NewBuilder(1).
+		AddRecordType(note, keyexpr.Field("id")).
+		AddIndex(&metadata.Index{Name: "by_zone", Type: metadata.IndexValue,
+			Expression: keyexpr.Then(keyexpr.Field("zone"), keyexpr.Field("id"))}, "Note").
+		MustBuild()
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "tenants-demo").Add(
+			keyspace.NewDirectory("tenant", keyspace.TypeString)))
+	must(err)
+	provider, err := recordlayer.NewStoreProvider(md, ks, []string{"app", "tenant"},
+		recordlayer.ProviderOptions{})
+	must(err)
+
+	// Tenants with very different appetites; the rate-limited one keeps
+	// going until its quota rejects it.
+	rejected := map[string]int{}
+	for _, load := range []struct {
+		tenant string
+		txns   int
+		writes int
+		reads  int
+	}{
+		{"acme", 8, 12, 3},
+		{"initech", 3, 4, 1},
+		{"freeloader", 40, 2, 0},
+	} {
+		tctx := recordlayer.WithTenant(ctx, load.tenant)
+		id := int64(0)
+		for t := 0; t < load.txns; t++ {
+			recs := make([]*message.Message, load.writes)
+			for j := range recs {
+				recs[j] = message.New(note).MustSet("id", id).MustSet("zone", "z")
+				id++
+			}
+			_, err := runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+				s, err := provider.Open(ctx, tr, load.tenant)
+				if err != nil {
+					return nil, err
+				}
+				for _, rec := range recs {
+					if _, err := s.SaveRecord(rec); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			})
+			if recordlayer.IsQuotaExceeded(err) {
+				rejected[load.tenant]++
+				continue // a real client would back off for err.RetryAfter
+			}
+			must(err)
+		}
+		for t := 0; t < load.reads; t++ {
+			_, err := runner.ReadRun(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+				s, err := provider.Open(ctx, tr, load.tenant)
+				if err != nil {
+					return nil, err
+				}
+				cur, err := s.ExecuteQuery(ctx, recordlayer.Query{
+					RecordTypes: []string{"Note"},
+					Filter:      query.Field("zone").Equals("z"),
+				}, recordlayer.ExecuteProperties{RowLimit: 50, Snapshot: true})
+				if err != nil {
+					return nil, err
+				}
+				return nil, cur.ForEach(func(*recordlayer.Record) error { return nil })
+			})
+			must(err)
+		}
+	}
+
+	fmt.Println("Per-tenant usage (Accountant snapshot):")
+	fmt.Printf("  %-12s %6s %9s %13s %13s %9s %6s %6s %9s\n",
+		"TENANT", "TXNS", "MEAN-LAT", "READ(rows/B)", "WRITE(rows/B)", "CONFLICTS", "ADMIT", "REJECT", "QUOTA")
+	for _, u := range acct.Snapshot() {
+		quota := "-"
+		if l := gov.LimitsFor(u.Tenant); l.TxnPerSecond > 0 {
+			quota = fmt.Sprintf("%.0f/s", l.TxnPerSecond)
+		}
+		fmt.Printf("  %-12s %6d %9s %5d/%-7d %5d/%-7d %9d %6d %6d %9s\n",
+			u.Tenant, u.Transactions, u.MeanTxnTime().Round(1000).String(),
+			u.ReadRecords, u.ReadBytes, u.WriteRecords, u.WriteBytes,
+			u.Conflicts, u.Admitted, u.Rejected, quota)
+	}
+	fmt.Printf("\n  (freeloader hit its %0.f txn/s quota %d times and was told to back off)\n",
+		gov.LimitsFor("freeloader").TxnPerSecond, rejected["freeloader"])
+}
+
+func tour() {
 	db := fdb.Open(nil)
 	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{})
 	ctx := context.Background()

@@ -3,7 +3,7 @@
 // multi-tenant structured datastore built on an ordered transactional
 // key-value store.
 //
-// This package is the public façade. It has four pillars:
+// This package is the public façade. It has five pillars:
 //
 //   - Runner: the standard transactional retry loop (§5) with bounded
 //     attempts, exponential backoff with jitter, retryable-error
@@ -18,6 +18,10 @@
 //     through a shared LRU plan cache (the client-side "SQL PREPARE" idiom,
 //     Appendix C) and returns a RecordCursor with ForEach/ToList and
 //     continuation accessors.
+//   - Resource governance: per-tenant metering (Accountant) and admission
+//     control (Governor) arbitrate the shared cluster *between* tenants —
+//     the layer that turns per-request limits into fair multi-tenancy (§1,
+//     §5 "millions of tenant stores").
 //
 // The essential workflow:
 //
@@ -63,13 +67,49 @@
 //		props = props.WithContinuation(cur.Continuation())
 //	}
 //
+// # Resource governance
+//
+// Bind a tenant identity to the request context and give the Runner a
+// Governor; everything below meters automatically (the tenant's meter rides
+// the context into store opens, scans, record loads/saves, and index
+// maintenance — no extra parameters):
+//
+//	acct := recordlayer.NewAccountant()
+//	gov := recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{TotalConcurrent: 64})
+//	gov.SetLimits("tenant-7", recordlayer.TenantLimits{
+//		TxnPerSecond: 100, Burst: 20, MaxConcurrent: 4, Weight: 1,
+//	})
+//	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{Governor: gov})
+//
+//	ctx = recordlayer.WithTenant(ctx, "tenant-7")
+//	_, err := runner.Run(ctx, work) // admission, then metered execution
+//
+// A tenant over its token-bucket rate quota fails fast with a typed
+// *QuotaExceededError; the recommended backoff is to wait its RetryAfter
+// (with jitter) before retrying:
+//
+//	var qe *recordlayer.QuotaExceededError
+//	if errors.As(err, &qe) {
+//		time.Sleep(qe.RetryAfter)
+//		// retry
+//	}
+//
+// A tenant over its concurrency ceiling (or a full cluster) waits instead:
+// queued admissions are granted weighted-fairly — lowest in-flight share
+// relative to TenantLimits.Weight first — so a hot tenant cannot starve the
+// rest. Operators read usage with Accountant.Snapshot (see `rl tenants`),
+// and a StoreProvider with ProviderOptions.Accountant meters traffic even
+// for requests that bypass the Runner's tenant binding. The noisy-neighbor
+// experiment (cmd/experiments -run nn) measures the isolation this buys.
+//
 // The implementation lives under internal/: the FoundationDB simulator
 // (internal/fdb), the tuple, subspace, directory and keyspace layers, a
 // dynamic protobuf (internal/message), schema management
 // (internal/metadata), key expressions (internal/keyexpr), index maintainers
 // (internal/index), the record store itself (internal/core), query planning
-// (internal/query, internal/plan), the CloudKit layer (internal/cloudkit)
-// and the Cassandra baseline (internal/cassandra).
+// (internal/query, internal/plan), resource governance (internal/resource),
+// the CloudKit layer (internal/cloudkit) and the Cassandra baseline
+// (internal/cassandra).
 //
 // See README.md for a guided overview, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for the paper-versus-measured record of every table and

@@ -1,0 +1,81 @@
+package recordlayer
+
+import (
+	"context"
+	"errors"
+
+	"recordlayer/internal/resource"
+)
+
+// Resource governance (§1, §5: one cluster, millions of tenant stores).
+//
+// The Accountant meters what every tenant reads, writes, conflicts on, and
+// how long its transactions take; the Governor enforces per-tenant
+// token-bucket rate limits and concurrency ceilings, sharing capacity
+// weighted-fairly when the cluster is saturated. Bind a tenant with
+// WithTenant and hand the Runner a Governor (or just an Accountant) — the
+// store, scan, and index layers then meter automatically via the context:
+//
+//	acct := recordlayer.NewAccountant()
+//	gov := recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{
+//		TotalConcurrent: 64,
+//	})
+//	gov.SetLimits("hot-tenant", recordlayer.TenantLimits{TxnPerSecond: 100, MaxConcurrent: 4})
+//	runner := recordlayer.NewRunner(db, recordlayer.RunnerOptions{Governor: gov})
+//
+//	ctx = recordlayer.WithTenant(ctx, "hot-tenant")
+//	_, err := runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) { ... })
+//	var qe *recordlayer.QuotaExceededError
+//	if errors.As(err, &qe) {
+//		time.Sleep(qe.RetryAfter) // recommended backoff
+//	}
+
+// Accountant is the per-tenant usage registry; see internal/resource.
+type Accountant = resource.Accountant
+
+// Governor arbitrates admission between tenants; see internal/resource.
+type Governor = resource.Governor
+
+// GovernorOptions configures a Governor.
+type GovernorOptions = resource.GovernorOptions
+
+// TenantLimits are one tenant's admission quotas.
+type TenantLimits = resource.Limits
+
+// TenantUsage is a snapshot of one tenant's consumption.
+type TenantUsage = resource.Usage
+
+// TenantMeter is one tenant's live counters.
+type TenantMeter = resource.Meter
+
+// QuotaExceededError reports an exhausted tenant rate quota; it carries the
+// recommended RetryAfter backoff.
+type QuotaExceededError = resource.QuotaExceededError
+
+// NewAccountant creates an empty usage registry.
+func NewAccountant() *Accountant { return resource.NewAccountant() }
+
+// NewGovernor creates a governor metering into acct (nil acct: a private
+// accountant is created; retrieve it with Governor.Accountant).
+func NewGovernor(acct *Accountant, opts GovernorOptions) *Governor {
+	return resource.NewGovernor(acct, opts)
+}
+
+// WithTenant binds a tenant identity to the context. Runner.Run/ReadRun use
+// it to acquire admission from their Governor and to select the tenant's
+// meter; StoreProvider.Open then meters all store traffic under it.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return resource.WithTenant(ctx, tenant)
+}
+
+// TenantFromContext returns the tenant bound by WithTenant, if any.
+func TenantFromContext(ctx context.Context) (string, bool) {
+	return resource.TenantFrom(ctx)
+}
+
+// IsQuotaExceeded reports whether err is (or wraps) a tenant rate-quota
+// rejection. Callers should back off for the error's RetryAfter.
+func IsQuotaExceeded(err error) bool {
+	var qe *QuotaExceededError
+	return errors.As(err, &qe)
+}

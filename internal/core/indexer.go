@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"recordlayer/internal/cursor"
@@ -29,6 +30,11 @@ type OnlineIndexer struct {
 	// BatchSize is the number of records indexed per transaction (default 64).
 	BatchSize int
 	Config    Config
+	// Pace, when set, runs between batches — a throttling hook: sleep to
+	// bound the build's cluster load, or consult a resource Governor.
+	// Returning an error (e.g. ctx.Err()) stops the build like a
+	// cancellation. Progress stays persisted either way.
+	Pace func(ctx context.Context) error
 }
 
 func idempotentType(t metadata.IndexType) bool {
@@ -41,7 +47,15 @@ func idempotentType(t metadata.IndexType) bool {
 
 // Build runs the full build: write-only transition, batched scan, readable
 // transition. It returns the number of records indexed.
-func (o *OnlineIndexer) Build() (int, error) {
+//
+// The context is checked between batches, so a background build honors
+// cancellation and deadlines promptly without losing progress: the batch
+// boundary is durable, and a later Build resumes from it (the index stays
+// write-only until a build completes).
+func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	ix, ok := o.MetaData.Index(o.IndexName)
 	if !ok {
 		return 0, fmt.Errorf("core: no index %q", o.IndexName)
@@ -77,9 +91,13 @@ func (o *OnlineIndexer) Build() (int, error) {
 		return 0, err
 	}
 
-	// Phase 2: batched scan, one transaction per batch.
+	// Phase 2: batched scan, one transaction per batch. Cancellation is
+	// honored at every batch boundary; progress persists across it.
 	total := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		n, done, err := o.buildBatch(batch)
 		if err != nil {
 			return total, err
@@ -87,6 +105,11 @@ func (o *OnlineIndexer) Build() (int, error) {
 		total += n
 		if done {
 			break
+		}
+		if o.Pace != nil {
+			if err := o.Pace(ctx); err != nil {
+				return total, err
+			}
 		}
 	}
 

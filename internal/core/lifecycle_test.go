@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -132,7 +134,7 @@ func TestAddIndexLargeStoreRequiresOnlineBuild(t *testing.T) {
 
 	// Build online in small batches across many transactions (§6).
 	indexer := &OnlineIndexer{DB: db, MetaData: v2, Space: sp, IndexName: "by_score", BatchSize: 7, Config: cfg}
-	n, err := indexer.Build()
+	n, err := indexer.Build(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestWriteOnlyIndexMaintainedDuringBuild(t *testing.T) {
 
 	// Finish the build; the concurrent save must appear exactly once.
 	indexer := &OnlineIndexer{DB: db, MetaData: v2, Space: sp, IndexName: "by_score", BatchSize: 8, Config: cfg}
-	if _, err := indexer.Build(); err != nil {
+	if _, err := indexer.Build(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	withStore(t, db, v2, sp, func(s *Store) error {
@@ -394,4 +396,85 @@ func TestScanRecordsByPrimaryKeyRange(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// TestOnlineIndexerCancellation checks that a background build stops at a
+// batch boundary when its context is cancelled (here via the Pace hook,
+// which a throttler would also use), that the partial progress is durable,
+// and that a later Build resumes from it and completes the index.
+func TestOnlineIndexerCancellation(t *testing.T) {
+	db := fdb.Open(nil)
+	sp := subspace.FromTuple(tuple.Tuple{"cancel"})
+	v1 := baseSchemaV1(t)
+	var users []*message.Message
+	for i := int64(1); i <= 30; i++ {
+		users = append(users, mkUser(i, fmt.Sprintf("u%d", i), i*10))
+	}
+	saveUsers(t, db, v1, sp, users...)
+
+	v2 := evolveSchema(t)
+	cfg := Config{InlineBuildLimit: 5} // force the online path
+	_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		_, err := Open(tr, v2, sp, OpenOptions{Config: cfg})
+		return nil, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	paces := 0
+	indexer := &OnlineIndexer{
+		DB: db, MetaData: v2, Space: sp, IndexName: "by_score", BatchSize: 7, Config: cfg,
+		Pace: func(ctx context.Context) error {
+			paces++
+			if paces == 2 {
+				cancel() // a stop request arriving mid-build
+			}
+			return ctx.Err()
+		},
+	}
+	n, err := indexer.Build(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build returned %v (n=%d), want context.Canceled", err, n)
+	}
+	if n != 14 {
+		t.Fatalf("cancelled after %d records, want 14 (two 7-record batches)", n)
+	}
+	// The index must not have become readable.
+	withStore(t, db, v2, sp, func(s *Store) error {
+		st, err := s.IndexState("by_score")
+		if err != nil {
+			return err
+		}
+		if st != metadata.StateWriteOnly {
+			t.Fatalf("state after cancellation: %v, want write-only", st)
+		}
+		return nil
+	})
+
+	// A fresh build resumes from the durable progress: only the remaining
+	// records are scanned.
+	resume := &OnlineIndexer{DB: db, MetaData: v2, Space: sp, IndexName: "by_score", BatchSize: 7, Config: cfg}
+	n2, err := resume.Build(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+n2 != 30 {
+		t.Fatalf("resume indexed %d records after %d, want 30 total", n2, n)
+	}
+	withStore(t, db, v2, sp, func(s *Store) error {
+		if entries := scanIndex(t, s, "by_score", index.TupleRange{}); len(entries) != 30 {
+			t.Fatalf("final index has %d entries", len(entries))
+		}
+		return nil
+	})
+
+	// An already-cancelled context fails fast without touching the store.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if _, err := resume.Build(dead); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled build returned %v", err)
+	}
 }

@@ -151,11 +151,14 @@ func (s *Store) writeRecordData(rec *StoredRecord, hadOld bool) error {
 		return err
 	}
 	rec.Size = len(blob)
+	writtenBytes := 0 // key+value bytes, matching read and index accounting
 	if len(blob) <= s.cfg.SplitChunkSize {
-		if err := s.tr.Set(s.recordKey(rec.PrimaryKey, unsplitRecord), blob); err != nil {
+		key := s.recordKey(rec.PrimaryKey, unsplitRecord)
+		if err := s.tr.Set(key, blob); err != nil {
 			return err
 		}
 		rec.SplitChunks = 1
+		writtenBytes = len(key) + len(blob)
 	} else {
 		if !s.md.SplitLongRecords {
 			return fmt.Errorf("core: record of %d bytes exceeds the chunk size and splitting is disabled", len(blob))
@@ -167,9 +170,11 @@ func (s *Store) writeRecordData(rec *StoredRecord, hadOld bool) error {
 				hi = len(blob)
 			}
 			n++
-			if err := s.tr.Set(s.recordKey(rec.PrimaryKey, n), blob[off:hi]); err != nil {
+			key := s.recordKey(rec.PrimaryKey, n)
+			if err := s.tr.Set(key, blob[off:hi]); err != nil {
 				return err
 			}
+			writtenBytes += len(key) + hi - off
 		}
 		rec.SplitChunks = int(n)
 	}
@@ -184,11 +189,17 @@ func (s *Store) writeRecordData(rec *StoredRecord, hadOld bool) error {
 		binary.BigEndian.PutUint16(val[10:], user)
 		var off [4]byte // versionstamp at offset 0
 		val = append(val, off[:]...)
-		if err := s.tr.Atomic(fdb.MutationSetVersionstampedValue,
-			s.recordKey(rec.PrimaryKey, versionSuffix), val); err != nil {
+		key := s.recordKey(rec.PrimaryKey, versionSuffix)
+		if err := s.tr.Atomic(fdb.MutationSetVersionstampedValue, key, val); err != nil {
 			return err
 		}
+		writtenBytes += len(key) + len(val)
 	}
+	rows := rec.SplitChunks
+	if s.md.StoreRecordVersions {
+		rows++ // the version slot
+	}
+	s.meter.RecordWrite(rows, writtenBytes)
 	return nil
 }
 
@@ -217,6 +228,13 @@ func (s *Store) loadRecordByKey(pk tuple.Tuple, snapshot bool) (*StoredRecord, e
 	}
 	if err != nil {
 		return nil, err
+	}
+	if len(kvs) > 0 {
+		nbytes := 0
+		for _, kv := range kvs {
+			nbytes += len(kv.Key) + len(kv.Value)
+		}
+		s.meter.RecordRead(len(kvs), nbytes)
 	}
 	if len(kvs) == 0 {
 		return nil, nil
@@ -304,7 +322,25 @@ func (s *Store) DeleteRecord(pk tuple.Tuple) (bool, error) {
 		return false, err
 	}
 	b, e := s.recordRange(pk)
-	return true, s.tr.ClearRange(b, e)
+	if err := s.tr.ClearRange(b, e); err != nil {
+		return false, err
+	}
+	// Clears meter their key bytes, matching the index maintainers.
+	rows := old.SplitChunks
+	cleared := 0
+	if old.SplitChunks == 1 {
+		cleared = len(s.recordKey(pk, unsplitRecord))
+	} else {
+		for i := int64(1); i <= int64(old.SplitChunks); i++ {
+			cleared += len(s.recordKey(pk, i))
+		}
+	}
+	if old.HasVersion {
+		rows++ // the version slot clears with the range
+		cleared += len(s.recordKey(pk, versionSuffix))
+	}
+	s.meter.RecordWrite(rows, cleared)
+	return true, nil
 }
 
 // DeleteAllRecords clears all records and index data but preserves the
@@ -356,6 +392,7 @@ func (s *Store) ScanRecords(opts ScanOptions) cursor.Cursor[*StoredRecord] {
 		Reverse:  opts.Reverse,
 		Limiter:  opts.Limiter,
 		Snapshot: opts.Snapshot,
+		Meter:    s.meter,
 	})
 	return &recordCursor{store: s, kvs: kvs, reverse: opts.Reverse}
 }

@@ -7,6 +7,7 @@ import (
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/index"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/resource"
 	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
@@ -76,6 +77,7 @@ type Store struct {
 	md    *metadata.MetaData
 	space subspace.Subspace
 	cfg   Config
+	meter *resource.Meter
 
 	header      Header
 	userVersion uint16 // per-transaction counter for versionstamps (§7)
@@ -88,6 +90,11 @@ type OpenOptions struct {
 	// CreateIfMissing writes a fresh header when the store does not exist.
 	CreateIfMissing bool
 	Config          Config
+	// Meter accounts the store's reads and writes to a tenant (may be nil).
+	// The façade binds it from the request context, so every record load,
+	// save, scan, and index maintenance under this store meters the tenant
+	// without further plumbing.
+	Meter *resource.Meter
 }
 
 // ErrStaleMetaData is returned when the store header records a newer
@@ -107,7 +114,7 @@ func (e *ErrStaleMetaData) Error() string {
 // removed indexes have their data cleared (§5).
 func Open(tr *fdb.Transaction, md *metadata.MetaData, space subspace.Subspace, opts OpenOptions) (*Store, error) {
 	s := &Store{tr: tr, md: md, space: space, cfg: opts.Config.withDefaults(),
-		maintainers: make(map[string]index.Maintainer)}
+		meter: opts.Meter, maintainers: make(map[string]index.Maintainer)}
 	raw, err := tr.Get(s.headerKey())
 	if err != nil {
 		return nil, err
@@ -162,6 +169,9 @@ func (s *Store) SetUserVersion(v int) error {
 
 // MetaData returns the schema the store was opened with.
 func (s *Store) MetaData() *metadata.MetaData { return s.md }
+
+// Meter returns the tenant meter bound at open time (may be nil).
+func (s *Store) Meter() *resource.Meter { return s.meter }
 
 // Subspace returns the store's subspace.
 func (s *Store) Subspace() subspace.Subspace { return s.space }
@@ -305,6 +315,7 @@ func (s *Store) indexContext(ix *metadata.Index) *index.Context {
 		Index:    ix,
 		Space:    s.indexSpace(ix.Name),
 		MetaData: s.md,
+		Meter:    s.meter,
 		NextUserVersion: func() uint16 {
 			v := s.userVersion
 			s.userVersion++

@@ -73,7 +73,7 @@ func (m *AtomicMaintainer) Update(ctx *Context, old, new *Record) error {
 			return nil
 		}
 		for _, g := range groupKeys(m.grouping, newEntries) {
-			if err := ctx.Tr.Atomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(1)); err != nil {
+			if err := ctx.meteredAtomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(1)); err != nil {
 				return err
 			}
 		}
@@ -106,7 +106,7 @@ func (m *AtomicMaintainer) Update(ctx *Context, old, new *Record) error {
 			if len(v) != 1 || v[0] == nil {
 				continue
 			}
-			if err := ctx.Tr.Atomic(mut, ctx.Space.Pack(g), v.Pack()); err != nil {
+			if err := ctx.meteredAtomic(mut, ctx.Space.Pack(g), v.Pack()); err != nil {
 				return err
 			}
 		}
@@ -136,12 +136,12 @@ func (m *AtomicMaintainer) applyGroupDelta(ctx *Context, oldEntries, newEntries 
 	newG := groupKeys(m.grouping, newEntries)
 	removed, added := diffEntries(oldG, newG)
 	for _, g := range removed {
-		if err := ctx.Tr.Atomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(-1)); err != nil {
+		if err := ctx.meteredAtomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(-1)); err != nil {
 			return err
 		}
 	}
 	for _, g := range added {
-		if err := ctx.Tr.Atomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(1)); err != nil {
+		if err := ctx.meteredAtomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(1)); err != nil {
 			return err
 		}
 	}
@@ -156,7 +156,7 @@ func (m *AtomicMaintainer) applyCounted(ctx *Context, oldEntries, newEntries []t
 	for _, e := range removed {
 		g, v := m.grouping.Split(e)
 		if n, ok := contribution(v); ok && n != 0 {
-			if err := ctx.Tr.Atomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(-n)); err != nil {
+			if err := ctx.meteredAtomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(-n)); err != nil {
 				return err
 			}
 		}
@@ -164,7 +164,7 @@ func (m *AtomicMaintainer) applyCounted(ctx *Context, oldEntries, newEntries []t
 	for _, e := range added {
 		g, v := m.grouping.Split(e)
 		if n, ok := contribution(v); ok && n != 0 {
-			if err := ctx.Tr.Atomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(n)); err != nil {
+			if err := ctx.meteredAtomic(fdb.MutationAdd, ctx.Space.Pack(g), littleEndianInt64(n)); err != nil {
 				return err
 			}
 		}

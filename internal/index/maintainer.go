@@ -16,6 +16,7 @@ import (
 	"recordlayer/internal/keyexpr"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/resource"
 	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
@@ -57,6 +58,19 @@ type Context struct {
 	// NextUserVersion allocates the 2-byte per-transaction counter appended
 	// to commit versions (§7, VERSION indexes).
 	NextUserVersion func() uint16
+	// Meter accounts index maintenance and scan traffic to the tenant the
+	// store is bound to (may be nil).
+	Meter *resource.Meter
+}
+
+// meteredAtomic applies an atomic mutation to an index key, accounting it as
+// one written pair.
+func (c *Context) meteredAtomic(typ fdb.MutationType, key, param []byte) error {
+	if err := c.Tr.Atomic(typ, key, param); err != nil {
+		return err
+	}
+	c.Meter.RecordWrite(1, len(key)+len(param))
+	return nil
 }
 
 // Maintainer updates index data when records change. Exactly one of old and

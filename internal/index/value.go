@@ -104,11 +104,16 @@ func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
 		return err
 	}
 	removed, added := diffEntries(oldEntries, newEntries)
+	written := 0
+	writtenBytes := 0
 	for _, t := range removed {
 		key, _ := m.splitEntry(t)
-		if err := ctx.Tr.Clear(m.entryKey(ctx.Space, key, old.PrimaryKey)); err != nil {
+		ek := m.entryKey(ctx.Space, key, old.PrimaryKey)
+		if err := ctx.Tr.Clear(ek); err != nil {
 			return err
 		}
+		written++
+		writtenBytes += len(ek)
 	}
 	for _, t := range added {
 		key, value := m.splitEntry(t)
@@ -121,9 +126,15 @@ func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
 		if len(value) > 0 {
 			packed = value.Pack()
 		}
-		if err := ctx.Tr.Set(m.entryKey(ctx.Space, key, new.PrimaryKey), packed); err != nil {
+		ek := m.entryKey(ctx.Space, key, new.PrimaryKey)
+		if err := ctx.Tr.Set(ek, packed); err != nil {
 			return err
 		}
+		written++
+		writtenBytes += len(ek) + len(packed)
+	}
+	if written > 0 {
+		ctx.Meter.RecordWrite(written, writtenBytes)
 	}
 	return nil
 }
@@ -189,6 +200,7 @@ func (m *ValueMaintainer) Scan(ctx *Context, r TupleRange, opts ScanOptions) (cu
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
 		Snapshot:     opts.Snapshot,
+		Meter:        ctx.Meter,
 	})
 	space := ctx.Space
 	return cursor.Map(kvs, func(kv fdb.KeyValue) (Entry, error) {

@@ -56,9 +56,11 @@ func (m *VersionMaintainer) Update(ctx *Context, old, new *Record) error {
 			// was written): nothing was indexed.
 			continue
 		}
-		if err := ctx.Tr.Clear(ctx.Space.Pack(full)); err != nil {
+		key := ctx.Space.Pack(full)
+		if err := ctx.Tr.Clear(key); err != nil {
 			return err
 		}
+		ctx.Meter.RecordWrite(1, len(key))
 	}
 	newEntries, err := entriesFor(ctx.Index, new)
 	if err != nil {
@@ -67,9 +69,11 @@ func (m *VersionMaintainer) Update(ctx *Context, old, new *Record) error {
 	for _, t := range newEntries {
 		full := t.Append(new.PrimaryKey...)
 		if !full.HasIncompleteVersionstamp() {
-			if err := ctx.Tr.Set(ctx.Space.Pack(full), nil); err != nil {
+			key := ctx.Space.Pack(full)
+			if err := ctx.Tr.Set(key, nil); err != nil {
 				return err
 			}
+			ctx.Meter.RecordWrite(1, len(key))
 			continue
 		}
 		// The incomplete stamp already carries the record's per-transaction
@@ -78,7 +82,7 @@ func (m *VersionMaintainer) Update(ctx *Context, old, new *Record) error {
 		if err != nil {
 			return err
 		}
-		if err := ctx.Tr.Atomic(fdb.MutationSetVersionstampedKey, key, nil); err != nil {
+		if err := ctx.meteredAtomic(fdb.MutationSetVersionstampedKey, key, nil); err != nil {
 			return err
 		}
 	}
@@ -108,6 +112,7 @@ func (m *VersionMaintainer) Scan(ctx *Context, r TupleRange, opts ScanOptions) (
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
 		Snapshot:     opts.Snapshot,
+		Meter:        ctx.Meter,
 	})
 	space := ctx.Space
 	return cursor.Map(kvs, func(kv fdb.KeyValue) (Entry, error) {

@@ -1,0 +1,54 @@
+package resource
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+type ctxKey int
+
+const (
+	tenantKey ctxKey = iota
+	meterKey
+)
+
+// WithTenant binds a tenant identity to the context. The Runner uses it to
+// acquire admission and select the tenant's meter; everything downstream of
+// the Runner then meters automatically.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// TenantFrom returns the tenant bound to the context, if any.
+func TenantFrom(ctx context.Context) (string, bool) {
+	t, ok := ctx.Value(tenantKey).(string)
+	return t, ok
+}
+
+// WithMeter attaches a tenant's meter to the context so deep layers (store
+// open, scans, index maintenance) can report usage without new parameters.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, meterKey, m)
+}
+
+// MeterFrom returns the meter riding the context, or nil (a valid no-op
+// meter) when none is attached.
+func MeterFrom(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey).(*Meter)
+	return m
+}
+
+// TenantKey derives a canonical tenant ID from keyspace path values — the
+// identity a StoreProvider binds when the context carries none. Values are
+// joined with "/" in path order.
+func TenantKey(values ...interface{}) string {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,342 @@
+package resource
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Limits are one tenant's admission quotas. The zero value is unlimited.
+type Limits struct {
+	// TxnPerSecond is the sustained admission rate enforced by a token
+	// bucket; 0 means unlimited. An admission over the rate is rejected
+	// immediately with *QuotaExceededError rather than queued, so callers
+	// can back off (the error carries RetryAfter).
+	TxnPerSecond float64
+	// Burst is the token bucket depth — how many admissions above the
+	// sustained rate may happen back-to-back. Defaults to
+	// max(1, ceil(TxnPerSecond)) when a rate is set.
+	Burst int
+	// MaxConcurrent caps the tenant's in-flight admitted transactions;
+	// 0 means unlimited. An admission over the ceiling waits (fairly) for
+	// one of the tenant's own slots rather than failing.
+	MaxConcurrent int
+	// Weight is the tenant's share when the governor is over total capacity
+	// and must choose which waiting tenant to admit next; 0 means 1. A
+	// tenant with weight 2 is allowed twice the in-flight share of a
+	// weight-1 tenant before yielding.
+	Weight int
+}
+
+func (l Limits) burst() float64 {
+	if l.Burst > 0 {
+		return float64(l.Burst)
+	}
+	if l.TxnPerSecond <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(1, math.Ceil(l.TxnPerSecond))
+}
+
+func (l Limits) weight() float64 {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return float64(l.Weight)
+}
+
+// QuotaExceededError reports that a tenant's token-bucket rate quota is
+// exhausted. Callers should back off for RetryAfter before retrying; the
+// error is typed so façade users can errors.As on it.
+type QuotaExceededError struct {
+	Tenant string
+	// RetryAfter is how long until the bucket holds a whole token again.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaExceededError) Error() string {
+	return fmt.Sprintf("resource: tenant %q over rate quota; retry after %v", e.Tenant, e.RetryAfter)
+}
+
+// GovernorOptions configures a Governor.
+type GovernorOptions struct {
+	// DefaultLimits applies to every tenant without explicit SetLimits.
+	DefaultLimits Limits
+	// TotalConcurrent caps in-flight admitted transactions across all
+	// tenants — the cluster's capacity; 0 means unlimited. When the cap is
+	// reached, admissions queue and are granted weighted-fair: the waiting
+	// tenant with the lowest inflight/weight share goes first.
+	TotalConcurrent int
+	// Clock supplies time for token-bucket refill (tests inject a manual
+	// clock). Defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Governor arbitrates admission between tenants: per-tenant token-bucket
+// rate limits, per-tenant concurrency ceilings, and a global concurrency
+// capacity shared weighted-fair. It meters every decision into its
+// Accountant. Safe for concurrent use.
+type Governor struct {
+	acct *Accountant
+	opts GovernorOptions
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	inflight int   // total admitted, in-flight
+	grantSeq int64 // monotonically increasing; breaks fair-share ties round-robin
+}
+
+type tenantState struct {
+	limits    Limits
+	tokens    float64
+	lastFill  time.Time
+	inflight  int
+	lastGrant int64
+	queue     []*waiter // FIFO within the tenant
+}
+
+type waiter struct {
+	ready   chan struct{} // closed when granted
+	granted bool
+}
+
+// NewGovernor creates a governor metering into acct (a nil acct gets a fresh
+// private Accountant so metering is always on).
+func NewGovernor(acct *Accountant, opts GovernorOptions) *Governor {
+	if acct == nil {
+		acct = NewAccountant()
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Governor{acct: acct, opts: opts, tenants: make(map[string]*tenantState)}
+}
+
+// Accountant returns the accountant the governor meters into.
+func (g *Governor) Accountant() *Accountant { return g.acct }
+
+// SetLimits installs tenant-specific quotas, replacing the defaults for that
+// tenant. A first rate limit primes a full bucket; re-applied limits keep
+// the current token balance (clamped to the new burst), so a config loop
+// re-asserting unchanged limits cannot refresh a drained quota. Raised
+// ceilings take effect immediately for queued waiters.
+func (g *Governor) SetLimits(tenant string, l Limits) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ts := g.tenant(tenant)
+	now := g.opts.Clock()
+	hadRate := ts.limits.TxnPerSecond > 0
+	ts.refill(now) // settle the bucket under the old rate first
+	ts.limits = l
+	switch {
+	case l.TxnPerSecond <= 0:
+		ts.tokens = 0 // unlimited rate never consults the bucket
+	case !hadRate:
+		ts.tokens = l.burst()
+	default:
+		ts.tokens = math.Min(ts.tokens, l.burst())
+	}
+	ts.lastFill = now
+	g.dispatch()
+}
+
+// LimitsFor reports the limits in force for tenant.
+func (g *Governor) LimitsFor(tenant string) Limits {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tenant(tenant).limits
+}
+
+// tenant returns (creating) the state for a tenant. Caller holds g.mu.
+func (g *Governor) tenant(tenant string) *tenantState {
+	ts, ok := g.tenants[tenant]
+	if !ok {
+		ts = &tenantState{
+			limits:   g.opts.DefaultLimits,
+			tokens:   g.opts.DefaultLimits.burst(),
+			lastFill: g.opts.Clock(),
+		}
+		if math.IsInf(ts.tokens, 1) {
+			ts.tokens = 0 // unlimited rate never consults the bucket
+		}
+		g.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// refill tops up the bucket for elapsed time. Caller holds g.mu.
+func (ts *tenantState) refill(now time.Time) {
+	if ts.limits.TxnPerSecond <= 0 {
+		return
+	}
+	dt := now.Sub(ts.lastFill).Seconds()
+	if dt > 0 {
+		ts.tokens = math.Min(ts.limits.burst(), ts.tokens+dt*ts.limits.TxnPerSecond)
+	}
+	ts.lastFill = now
+}
+
+// Admit asks to run one transaction on behalf of tenant. It consumes one
+// rate token (failing fast with *QuotaExceededError when the bucket is
+// empty), then waits — honoring ctx cancellation — for a concurrency slot if
+// the tenant or the cluster is at capacity, granting queued tenants
+// weighted-fairly. On success it returns a release function that MUST be
+// called exactly when the transaction finishes (it is idempotent).
+func (g *Governor) Admit(ctx context.Context, tenant string) (release func(), err error) {
+	meter := g.acct.Tenant(tenant)
+
+	g.mu.Lock()
+	ts := g.tenant(tenant)
+
+	// Rate quota: reject immediately so the caller backs off out-of-band
+	// instead of occupying a queue slot.
+	if ts.limits.TxnPerSecond > 0 {
+		ts.refill(g.opts.Clock())
+		if ts.tokens < 1 {
+			retry := time.Duration((1 - ts.tokens) / ts.limits.TxnPerSecond * float64(time.Second))
+			g.mu.Unlock()
+			meter.recordRejection()
+			return nil, &QuotaExceededError{Tenant: tenant, RetryAfter: retry}
+		}
+		ts.tokens--
+	}
+
+	// Concurrency: admit immediately when there is room and nobody from
+	// this tenant is already queued (FIFO within a tenant); otherwise queue.
+	if len(ts.queue) == 0 && g.hasRoom(ts) {
+		g.grant(tenant, ts)
+		g.mu.Unlock()
+		meter.recordAdmission(false)
+		return g.releaseFunc(tenant), nil
+	}
+	w := &waiter{ready: make(chan struct{})}
+	ts.queue = append(ts.queue, w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		meter.recordAdmission(true)
+		return g.releaseFunc(tenant), nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// Lost the race: the slot was granted while we were cancelling.
+			// Hand it back so it is re-dispatched fairly.
+			g.refundToken(ts)
+			g.releaseLocked(tenant)
+			g.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		for i, q := range ts.queue {
+			if q == w {
+				ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+				break
+			}
+		}
+		// The work never ran: refund the rate token, and count neither an
+		// admission nor a rejection — cancellation is not a quota event.
+		g.refundToken(ts)
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// refundToken returns the rate token consumed by an admission that was
+// cancelled before its work ran. Caller holds g.mu.
+func (g *Governor) refundToken(ts *tenantState) {
+	if ts.limits.TxnPerSecond <= 0 {
+		return
+	}
+	ts.refill(g.opts.Clock())
+	ts.tokens = math.Min(ts.limits.burst(), ts.tokens+1)
+}
+
+// hasRoom reports whether one more admission fits the tenant's ceiling and
+// the global capacity. Caller holds g.mu.
+func (g *Governor) hasRoom(ts *tenantState) bool {
+	if ts.limits.MaxConcurrent > 0 && ts.inflight >= ts.limits.MaxConcurrent {
+		return false
+	}
+	if g.opts.TotalConcurrent > 0 && g.inflight >= g.opts.TotalConcurrent {
+		return false
+	}
+	return true
+}
+
+// grant admits one transaction for tenant. Caller holds g.mu.
+func (g *Governor) grant(tenant string, ts *tenantState) {
+	ts.inflight++
+	g.inflight++
+	g.grantSeq++
+	ts.lastGrant = g.grantSeq
+}
+
+func (g *Governor) releaseFunc(tenant string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.releaseLocked(tenant)
+			g.mu.Unlock()
+		})
+	}
+}
+
+// releaseLocked returns one slot and dispatches waiters. Caller holds g.mu.
+func (g *Governor) releaseLocked(tenant string) {
+	ts := g.tenant(tenant)
+	ts.inflight--
+	g.inflight--
+	g.dispatch()
+}
+
+// dispatch grants as many queued waiters as capacity allows, choosing at
+// each step the eligible tenant with the lowest inflight/weight share
+// (weighted fair), breaking ties by least-recently-granted (round-robin).
+// Caller holds g.mu.
+func (g *Governor) dispatch() {
+	for {
+		var best *tenantState
+		var bestName string
+		for name, ts := range g.tenants {
+			if len(ts.queue) == 0 || !g.hasRoom(ts) {
+				continue
+			}
+			if best == nil || fairBefore(ts, best) {
+				best, bestName = ts, name
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.queue[0]
+		best.queue = best.queue[1:]
+		g.grant(bestName, best)
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// fairBefore reports whether a should be granted before b: lower weighted
+// in-flight share first, then least recently granted.
+func fairBefore(a, b *tenantState) bool {
+	sa := float64(a.inflight) / a.limits.weight()
+	sb := float64(b.inflight) / b.limits.weight()
+	if sa != sb {
+		return sa < sb
+	}
+	return a.lastGrant < b.lastGrant
+}
+
+// Inflight reports the governor's current total in-flight admissions and
+// queued waiters (for monitoring and tests).
+func (g *Governor) Inflight() (admitted, waiting int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, ts := range g.tenants {
+		waiting += len(ts.queue)
+	}
+	return g.inflight, waiting
+}

@@ -1,0 +1,391 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"recordlayer"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
+	"recordlayer/internal/keyspace"
+	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
+)
+
+// NoisyConfig sizes the noisy-neighbor experiment: N well-behaved tenants
+// issuing small steady transactions share a cluster with one aggressor
+// hammering large writes. Three phases run on fresh clusters — the victims
+// alone (baseline), victims plus aggressor ungoverned, and victims plus
+// aggressor under a Governor that rate-limits the aggressor — so the
+// experiment isolates what governance buys (§1, §5: fair multi-tenancy).
+type NoisyConfig struct {
+	// Victims is the number of well-behaved tenants (default 4).
+	Victims int
+	// AggressorWorkers is the aggressor's write concurrency (default 8).
+	AggressorWorkers int
+	// Phase is how long each phase runs (default 500ms).
+	Phase time.Duration
+	// AggressorRate is the aggressor's governed quota in txn/s (default 40).
+	AggressorRate float64
+	// AggressorBurst is the governed token-bucket depth (default 4).
+	AggressorBurst int
+	// Seed shapes the record payloads.
+	Seed int64
+}
+
+func (c NoisyConfig) withDefaults() NoisyConfig {
+	if c.Victims <= 0 {
+		c.Victims = 4
+	}
+	if c.AggressorWorkers <= 0 {
+		c.AggressorWorkers = 8
+	}
+	if c.Phase <= 0 {
+		c.Phase = 500 * time.Millisecond
+	}
+	if c.AggressorRate <= 0 {
+		c.AggressorRate = 40
+	}
+	if c.AggressorBurst <= 0 {
+		c.AggressorBurst = 4
+	}
+	return c
+}
+
+// TenantResult is one tenant's outcome in one phase.
+type TenantResult struct {
+	Tenant     string
+	Txns       int
+	Rejections int64
+	Throughput float64 // successful txn/s
+	P50, P95   time.Duration
+}
+
+// NoisyPhase is one phase's outcome.
+type NoisyPhase struct {
+	Name      string
+	Tenants   []TenantResult // victims first (sorted), aggressor last if present
+	VictimP50 time.Duration  // pooled victim latency median
+	VictimP95 time.Duration
+}
+
+// NoisyStats is the whole experiment's outcome.
+type NoisyStats struct {
+	Config     NoisyConfig
+	Baseline   NoisyPhase // victims only
+	Ungoverned NoisyPhase // + aggressor, no governor
+	Governed   NoisyPhase // + aggressor, governor caps it
+	// AggressorCap is the maximum admissions the governed aggressor's quota
+	// allows in one phase (burst + rate·phase).
+	AggressorCap float64
+	// Isolated reports the acceptance criterion: the governed victims' p50
+	// stayed within 2x of their aggressor-free baseline.
+	Isolated bool
+}
+
+// aggressor tenant ID; victims are "victim-0".."victim-N".
+const aggressorTenant = "aggressor"
+
+// RunNoisyNeighbor runs the three phases and evaluates isolation.
+func RunNoisyNeighbor(ctx context.Context, cfg NoisyConfig) (NoisyStats, error) {
+	cfg = cfg.withDefaults()
+	stats := NoisyStats{Config: cfg}
+	stats.AggressorCap = float64(cfg.AggressorBurst) + cfg.AggressorRate*cfg.Phase.Seconds()
+
+	var err error
+	if stats.Baseline, err = runNoisyPhase(ctx, cfg, "baseline", false, false); err != nil {
+		return stats, err
+	}
+	if stats.Ungoverned, err = runNoisyPhase(ctx, cfg, "ungoverned", true, false); err != nil {
+		return stats, err
+	}
+	if stats.Governed, err = runNoisyPhase(ctx, cfg, "governed", true, true); err != nil {
+		return stats, err
+	}
+	stats.Isolated = stats.Baseline.VictimP50 > 0 &&
+		stats.Governed.VictimP50 <= 2*stats.Baseline.VictimP50
+	return stats, nil
+}
+
+// noisySchema is the shared Note-style schema.
+func noisySchema() (*message.Descriptor, *metadata.MetaData, error) {
+	note := message.MustDescriptor("Note",
+		message.Field("id", 1, message.TypeInt64),
+		message.Field("body", 2, message.TypeString),
+	)
+	md, err := metadata.NewBuilder(1).
+		AddRecordType(note, keyexpr.Field("id")).
+		Build()
+	return note, md, err
+}
+
+func runNoisyPhase(ctx context.Context, cfg NoisyConfig, name string, withAggressor, governed bool) (NoisyPhase, error) {
+	note, md, err := noisySchema()
+	if err != nil {
+		return NoisyPhase{}, err
+	}
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant("app", "noisy").Add(
+			keyspace.NewDirectory("tenant", keyspace.TypeString)))
+	if err != nil {
+		return NoisyPhase{}, err
+	}
+	provider, err := recordlayer.NewStoreProvider(md, ks, []string{"app", "tenant"},
+		recordlayer.ProviderOptions{})
+	if err != nil {
+		return NoisyPhase{}, err
+	}
+	db := fdb.Open(nil)
+	acct := recordlayer.NewAccountant()
+	opts := recordlayer.RunnerOptions{Accountant: acct}
+	if governed {
+		gov := recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{})
+		gov.SetLimits(aggressorTenant, recordlayer.TenantLimits{
+			TxnPerSecond:  cfg.AggressorRate,
+			Burst:         cfg.AggressorBurst,
+			MaxConcurrent: 1,
+		})
+		opts.Governor = gov
+	}
+	runner := recordlayer.NewRunner(db, opts)
+
+	tenants := make([]string, 0, cfg.Victims+1)
+	for i := 0; i < cfg.Victims; i++ {
+		tenants = append(tenants, fmt.Sprintf("victim-%d", i))
+	}
+	if withAggressor {
+		tenants = append(tenants, aggressorTenant)
+	}
+	// Pre-create every tenant's store so the measured loops never race on
+	// directory allocation for the same path.
+	for _, tenant := range tenants {
+		tctx := recordlayer.WithTenant(ctx, tenant)
+		if _, err := runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			_, err := provider.Open(ctx, tr, tenant)
+			return nil, err
+		}); err != nil {
+			return NoisyPhase{}, fmt.Errorf("workload: pre-create %s: %w", tenant, err)
+		}
+	}
+
+	type worker struct {
+		tenant    string
+		txns      int
+		latencies []time.Duration
+		err       error
+	}
+	var workers []*worker
+	deadline := time.Now().Add(cfg.Phase)
+	var wg sync.WaitGroup
+
+	// saveTxn writes n records of size bytes each for tenant, starting at id.
+	saveTxn := func(ctx context.Context, tenant string, baseID int64, n, size int, rng *rand.Rand) error {
+		recs := make([]*message.Message, n)
+		for j := range recs {
+			recs[j] = message.New(note).
+				MustSet("id", baseID+int64(j)).
+				MustSet("body", NoteBody(rng, size))
+		}
+		_, err := runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := provider.Open(ctx, tr, tenant)
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range recs {
+				if _, err := store.SaveRecord(rec); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		})
+		return err
+	}
+
+	spawn := func(tenant string, workerIdx, recsPerTxn, recSize int, record bool) {
+		w := &worker{tenant: tenant}
+		workers = append(workers, w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(workerIdx)*7919))
+			tctx := recordlayer.WithTenant(ctx, tenant)
+			// Distinct id ranges per worker keep tenants conflict-free with
+			// themselves.
+			id := int64(workerIdx) << 32
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				start := time.Now()
+				err := saveTxn(tctx, tenant, id, recsPerTxn, recSize, rng)
+				id += int64(recsPerTxn)
+				if err != nil {
+					var qe *recordlayer.QuotaExceededError
+					if errors.As(err, &qe) {
+						// The recommended backoff: wait out the quota window.
+						pause := qe.RetryAfter
+						if rest := time.Until(deadline); pause > rest {
+							pause = rest
+						}
+						time.Sleep(pause)
+						continue
+					}
+					w.err = err
+					return
+				}
+				w.txns++
+				if record {
+					w.latencies = append(w.latencies, time.Since(start))
+				}
+			}
+		}()
+	}
+
+	idx := 0
+	for i := 0; i < cfg.Victims; i++ {
+		// Victims: one worker each, small steady writes (3 × ~200 B).
+		spawn(fmt.Sprintf("victim-%d", i), idx, 3, 200, true)
+		idx++
+	}
+	if withAggressor {
+		for i := 0; i < cfg.AggressorWorkers; i++ {
+			// Aggressor: many workers, heavy writes (12 × ~4 kB).
+			spawn(aggressorTenant, idx, 12, 4096, false)
+			idx++
+		}
+	}
+	wg.Wait()
+
+	// Merge per-worker results into per-tenant rows.
+	byTenant := map[string]*TenantResult{}
+	pooled := map[string][]time.Duration{}
+	for _, w := range workers {
+		if w.err != nil {
+			return NoisyPhase{}, fmt.Errorf("workload: %s worker: %w", w.tenant, w.err)
+		}
+		tr, ok := byTenant[w.tenant]
+		if !ok {
+			tr = &TenantResult{Tenant: w.tenant}
+			byTenant[w.tenant] = tr
+		}
+		tr.Txns += w.txns
+		pooled[w.tenant] = append(pooled[w.tenant], w.latencies...)
+	}
+	phase := NoisyPhase{Name: name}
+	var victimLat []time.Duration
+	names := make([]string, 0, len(byTenant))
+	for t := range byTenant {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	// Aggressor row last for readable tables.
+	sort.SliceStable(names, func(i, j int) bool {
+		return (names[i] != aggressorTenant) && (names[j] == aggressorTenant)
+	})
+	for _, t := range names {
+		tr := byTenant[t]
+		tr.Throughput = float64(tr.Txns) / cfg.Phase.Seconds()
+		tr.Rejections = acct.Tenant(t).Snapshot().Rejected
+		tr.P50, tr.P95 = percentiles(pooled[t])
+		if t != aggressorTenant {
+			victimLat = append(victimLat, pooled[t]...)
+		}
+		phase.Tenants = append(phase.Tenants, *tr)
+	}
+	phase.VictimP50, phase.VictimP95 = percentiles(victimLat)
+	return phase, nil
+}
+
+// percentiles returns the p50 and p95 of a latency sample (0,0 when empty).
+func percentiles(ds []time.Duration) (p50, p95 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.95)
+}
+
+// MeasureGovernanceOverhead times the same single-tenant write loop with and
+// without governance (generous limits, so admission always succeeds on the
+// fast path) — the per-transaction cost of metering plus admission. Each
+// variant is measured three times after a warmup and the minimum is
+// reported, squeezing out GC and scheduler noise.
+func MeasureGovernanceOverhead(ctx context.Context, txns int) (ungoverned, governed time.Duration, err error) {
+	if txns <= 0 {
+		txns = 2000
+	}
+	run := func(governed bool) (time.Duration, error) {
+		note, md, err := noisySchema()
+		if err != nil {
+			return 0, err
+		}
+		ks, err := keyspace.New(nil,
+			keyspace.NewConstant("app", "overhead").Add(
+				keyspace.NewDirectory("tenant", keyspace.TypeString)))
+		if err != nil {
+			return 0, err
+		}
+		provider, err := recordlayer.NewStoreProvider(md, ks, []string{"app", "tenant"},
+			recordlayer.ProviderOptions{})
+		if err != nil {
+			return 0, err
+		}
+		db := fdb.Open(nil)
+		opts := recordlayer.RunnerOptions{}
+		runCtx := ctx
+		if governed {
+			gov := recordlayer.NewGovernor(nil, recordlayer.GovernorOptions{})
+			gov.SetLimits("t", recordlayer.TenantLimits{TxnPerSecond: 1e9, MaxConcurrent: 64})
+			opts.Governor = gov
+			runCtx = recordlayer.WithTenant(ctx, "t")
+		}
+		runner := recordlayer.NewRunner(db, opts)
+		rng := rand.New(rand.NewSource(1))
+		body := NoteBody(rng, 200)
+		save := func(i int) error {
+			rec := message.New(note).MustSet("id", int64(i)).MustSet("body", body)
+			_, err := runner.Run(runCtx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+				store, err := provider.Open(ctx, tr, "t")
+				if err != nil {
+					return nil, err
+				}
+				_, err = store.SaveRecord(rec)
+				return nil, err
+			})
+			return err
+		}
+		id := 0
+		for i := 0; i < txns/4; i++ { // warmup
+			if err := save(id); err != nil {
+				return 0, err
+			}
+			id++
+		}
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for i := 0; i < txns; i++ {
+				if err := save(id); err != nil {
+					return 0, err
+				}
+				id++
+			}
+			if d := time.Since(start) / time.Duration(txns); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	if ungoverned, err = run(false); err != nil {
+		return
+	}
+	governed, err = run(true)
+	return
+}

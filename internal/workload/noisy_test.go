@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestNoisyNeighbor runs a short three-phase experiment and checks the
+// structural guarantees that are deterministic: every phase produced victim
+// traffic, the governed aggressor was held to its admission cap (burst +
+// rate·phase), and it was rejected at least once. Latency ratios are printed
+// by cmd/experiments rather than asserted here — they are machine-dependent.
+func TestNoisyNeighbor(t *testing.T) {
+	cfg := NoisyConfig{
+		Victims:          2,
+		AggressorWorkers: 4,
+		Phase:            200 * time.Millisecond,
+		AggressorRate:    30,
+		AggressorBurst:   3,
+		Seed:             7,
+	}
+	stats, err := RunNoisyNeighbor(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	find := func(p NoisyPhase, tenant string) *TenantResult {
+		for i := range p.Tenants {
+			if p.Tenants[i].Tenant == tenant {
+				return &p.Tenants[i]
+			}
+		}
+		return nil
+	}
+
+	for _, p := range []NoisyPhase{stats.Baseline, stats.Ungoverned, stats.Governed} {
+		for i := 0; i < cfg.Victims; i++ {
+			v := find(p, fmt.Sprintf("victim-%d", i))
+			if v == nil || v.Txns == 0 {
+				t.Fatalf("%s: victim-%d did no work: %+v", p.Name, i, p.Tenants)
+			}
+		}
+		if p.VictimP50 <= 0 {
+			t.Errorf("%s: no victim latency sample", p.Name)
+		}
+	}
+	if find(stats.Baseline, aggressorTenant) != nil {
+		t.Error("baseline phase should have no aggressor")
+	}
+
+	ag := find(stats.Governed, aggressorTenant)
+	if ag == nil {
+		t.Fatal("governed phase missing aggressor row")
+	}
+	// The token bucket is a hard cap: admissions <= burst + rate*phase (the
+	// 1.5 slack absorbs scheduling overrun past the phase deadline).
+	if float64(ag.Txns) > stats.AggressorCap*1.5 {
+		t.Errorf("governed aggressor ran %d txns, cap is %.0f", ag.Txns, stats.AggressorCap)
+	}
+	if ag.Rejections == 0 {
+		t.Error("governed aggressor was never rejected — quota not exercised")
+	}
+
+	un := find(stats.Ungoverned, aggressorTenant)
+	if un == nil {
+		t.Fatal("ungoverned phase missing aggressor row")
+	}
+	if un.Txns <= ag.Txns {
+		t.Errorf("governance did not reduce aggressor throughput: %d -> %d", un.Txns, ag.Txns)
+	}
+}
+
+// TestMeasureGovernanceOverhead sanity-checks the overhead probe runs and
+// produces plausible (positive) per-txn times.
+func TestMeasureGovernanceOverhead(t *testing.T) {
+	un, gov, err := MeasureGovernanceOverhead(context.Background(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un <= 0 || gov <= 0 {
+		t.Fatalf("per-txn times = %v / %v, want > 0", un, gov)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"recordlayer/internal/fdb"
+	"recordlayer/internal/resource"
 )
 
 // TransactFunc is the body of one transactional attempt. The transaction is
@@ -31,6 +32,19 @@ type RunnerOptions struct {
 	// Sleep waits between attempts and must honor ctx cancellation; tests
 	// inject an instant version. The default uses a timer.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Governor enforces per-tenant admission control: when the context
+	// carries a tenant (WithTenant), each Run/ReadRun acquires admission
+	// before its first attempt — failing fast with *QuotaExceededError when
+	// the tenant is over its rate quota, waiting (weighted-fair) when the
+	// tenant or cluster is at its concurrency ceiling. Nil disables
+	// admission control.
+	Governor *resource.Governor
+	// Accountant meters per-tenant usage for tenant-bound contexts: the
+	// runner records transaction latency and conflicts, and attaches the
+	// tenant's meter to the context so the store layers below account reads
+	// and writes automatically. Nil falls back to the Governor's accountant;
+	// if both are nil, metering is off.
+	Accountant *resource.Accountant
 }
 
 func (o RunnerOptions) withDefaults() RunnerOptions {
@@ -48,6 +62,9 @@ func (o RunnerOptions) withDefaults() RunnerOptions {
 	}
 	if o.Sleep == nil {
 		o.Sleep = sleepCtx
+	}
+	if o.Accountant == nil && o.Governor != nil {
+		o.Accountant = o.Governor.Accountant()
 	}
 	return o
 }
@@ -133,6 +150,24 @@ func (r *Runner) ReadRun(ctx context.Context, fn TransactFunc) (interface{}, err
 }
 
 func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interface{}, error) {
+	var meter *resource.Meter
+	if tenant, ok := resource.TenantFrom(ctx); ok {
+		if r.opts.Accountant != nil {
+			meter = r.opts.Accountant.Tenant(tenant)
+			ctx = resource.WithMeter(ctx, meter)
+		}
+		if r.opts.Governor != nil {
+			// One admission covers the whole retry loop: a retried attempt
+			// is the same unit of tenant work, not a new request.
+			release, err := r.opts.Governor.Admit(ctx, tenant)
+			if err != nil {
+				r.failures.Add(1)
+				return nil, err
+			}
+			defer release()
+		}
+	}
+	start := time.Now()
 	backoff := r.opts.InitialBackoff
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -146,7 +181,11 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 		}
 		if err == nil {
 			r.runs.Add(1)
+			meter.RecordTxn(time.Since(start))
 			return v, nil
+		}
+		if fdb.IsConflict(err) {
+			meter.RecordConflict()
 		}
 		if !fdb.IsRetryable(err) {
 			r.failures.Add(1)

@@ -12,6 +12,7 @@ import (
 	"recordlayer/internal/metadata"
 	"recordlayer/internal/plan"
 	"recordlayer/internal/query"
+	"recordlayer/internal/resource"
 )
 
 // Record is a stored record: the decoded message plus its identity and the
@@ -31,6 +32,11 @@ type ProviderOptions struct {
 	Planner plan.Config
 	// PlanCacheSize bounds the shared LRU plan cache (default 128).
 	PlanCacheSize int
+	// Accountant meters per-tenant store traffic. When the request context
+	// does not already carry a meter (i.e. the Runner has none bound), Open
+	// derives the tenant ID from the keyspace path values and meters into
+	// this accountant. Nil leaves such requests unmetered.
+	Accountant *resource.Accountant
 }
 
 // StoreProvider binds a schema, a store configuration, and a keyspace path
@@ -79,6 +85,12 @@ func (p *StoreProvider) PlanCacheStats() PlanCacheStats { return p.plans.Stats()
 // compiled to a subspace (resolving interned directories through the
 // directory layer), and the store header is verified against the provider's
 // metadata.
+//
+// Open also binds the tenant's resource meter: the meter riding the context
+// (attached by a Runner with an Accountant) wins; otherwise, with a
+// provider-level Accountant configured, the tenant ID is derived from the
+// path values. Every read and write through the returned store — record
+// loads, saves, scans, index maintenance — is then accounted to the tenant.
 func (p *StoreProvider) Open(ctx context.Context, tr *fdb.Transaction, tenant ...interface{}) (*Store, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -91,7 +103,15 @@ func (p *StoreProvider) Open(ctx context.Context, tr *fdb.Transaction, tenant ..
 	if err != nil {
 		return nil, err
 	}
-	cs, err := core.Open(tr, p.md, space, core.OpenOptions{CreateIfMissing: true, Config: p.opts.Config})
+	meter := resource.MeterFrom(ctx)
+	if meter == nil && p.opts.Accountant != nil {
+		meter = p.opts.Accountant.Tenant(resource.TenantKey(tenant...))
+	}
+	cs, err := core.Open(tr, p.md, space, core.OpenOptions{
+		CreateIfMissing: true,
+		Config:          p.opts.Config,
+		Meter:           meter,
+	})
 	if err != nil {
 		return nil, err
 	}
