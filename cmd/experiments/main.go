@@ -32,6 +32,7 @@ func main() {
 	stores := flag.Int("stores", 200_000, "synthetic record stores for Figure 1")
 	docs := flag.Int("docs", 233, "documents for Table 2 (paper used 233)")
 	txns := flag.Int("txns", 300, "transactions for the size distribution")
+	short := flag.Bool("short", false, "short deterministic mode: small phases, skip timing probes, exit non-zero on violated governance invariants (the CI smoke gate)")
 	flag.Parse()
 
 	ids := []string{*run}
@@ -42,7 +43,7 @@ func main() {
 		if i > 0 {
 			fmt.Println("\n" + line() + "\n")
 		}
-		if err := runOne(id, *stores, *docs, *txns); err != nil {
+		if err := runOne(id, *stores, *docs, *txns, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -53,7 +54,7 @@ func line() string {
 	return "================================================================"
 }
 
-func runOne(id string, stores, docs, txns int) error {
+func runOne(id string, stores, docs, txns int, short bool) error {
 	w := os.Stdout
 	switch id {
 	case "f1":
@@ -103,7 +104,7 @@ func runOne(id string, stores, docs, txns int) error {
 		fmt.Fprintf(w, "  runner retries: %d; plan cache: %d hits / %d misses\n",
 			stats.Retries, stats.PlanCacheHits, stats.PlanCacheMiss)
 	case "nn":
-		return runNoisyNeighbor(w)
+		return runNoisyNeighbor(w, short)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -111,10 +112,16 @@ func runOne(id string, stores, docs, txns int) error {
 }
 
 // runNoisyNeighbor prints the tenant-governance isolation experiment: N
-// well-behaved tenants with and without an aggressor, with and without the
-// Governor.
-func runNoisyNeighbor(w io.Writer) error {
+// well-behaved tenants with and without an aggressor, under each governance
+// mechanism in turn (txn-rate quota, byte-rate quota, persisted limits on
+// two servers, background index build). In short mode it uses small phases,
+// skips the timing probes, and fails on violated invariants — the CI gate.
+func runNoisyNeighbor(w io.Writer, short bool) error {
 	cfg := workload.NoisyConfig{Seed: 42}
+	if short {
+		cfg.Phase = 150 * time.Millisecond
+		cfg.IndexRecords = 600
+	}
 	fmt.Fprintln(w, "Noisy neighbor: per-tenant governance (Accountant + Governor)")
 	stats, err := workload.RunNoisyNeighbor(context.Background(), cfg)
 	if err != nil {
@@ -123,8 +130,10 @@ func runNoisyNeighbor(w io.Writer) error {
 	cfg = stats.Config
 	fmt.Fprintf(w, "  %d well-behaved tenants (3x200B txns) vs 1 aggressor (%d workers, 12x4kB txns)\n",
 		cfg.Victims, cfg.AggressorWorkers)
-	fmt.Fprintf(w, "  governed aggressor quota: %.0f txn/s, burst %d, concurrency 1 (cap %.0f txns/phase)\n\n",
+	fmt.Fprintf(w, "  governed aggressor quota: %.0f txn/s, burst %d, concurrency 1 (cap %.0f txns/phase)\n",
 		cfg.AggressorRate, cfg.AggressorBurst, stats.AggressorCap)
+	fmt.Fprintf(w, "  byte-hog aggressor quota: %.0f B/s, byte burst %d\n\n",
+		cfg.AggressorByteRate, cfg.AggressorByteBurst)
 
 	printPhase := func(p workload.NoisyPhase) {
 		fmt.Fprintf(w, "  phase %-10s  victim p50 %8v  p95 %8v\n", p.Name, p.VictimP50, p.VictimP95)
@@ -133,15 +142,24 @@ func runNoisyNeighbor(w io.Writer) error {
 			if t.P50 > 0 {
 				line += fmt.Sprintf("  p50 %8v", t.P50)
 			}
+			if t.Tenant == "aggressor" && t.Bytes > 0 {
+				line += fmt.Sprintf("  %8.1f MB", float64(t.Bytes)/(1<<20))
+			}
 			if t.Rejections > 0 {
 				line += fmt.Sprintf("  (%d quota rejections)", t.Rejections)
 			}
 			fmt.Fprintln(w, line)
 		}
+		if p.Indexed > 0 {
+			fmt.Fprintf(w, "    background index build processed %d records (yielding to foreground)\n", p.Indexed)
+		}
 	}
 	printPhase(stats.Baseline)
 	printPhase(stats.Ungoverned)
 	printPhase(stats.Governed)
+	printPhase(stats.ByteHog)
+	printPhase(stats.Persisted)
+	printPhase(stats.BgIndex)
 
 	ratio := func(p workload.NoisyPhase) float64 {
 		if stats.Baseline.VictimP50 == 0 {
@@ -149,22 +167,41 @@ func runNoisyNeighbor(w io.Writer) error {
 		}
 		return float64(p.VictimP50) / float64(stats.Baseline.VictimP50)
 	}
-	fmt.Fprintf(w, "\n  victim p50 vs baseline: ungoverned %.1fx, governed %.1fx (target <= 2x)\n",
-		ratio(stats.Ungoverned), ratio(stats.Governed))
-	aggressor := func(p workload.NoisyPhase) int {
+	fmt.Fprintf(w, "\n  victim p50 vs baseline: ungoverned %.1fx, governed %.1fx, byte-hog %.1fx, persisted %.1fx (target <= 2x)\n",
+		ratio(stats.Ungoverned), ratio(stats.Governed), ratio(stats.ByteHog), ratio(stats.Persisted))
+	fmt.Fprintf(w, "  victim p50 under background index build: %.1fx of baseline (target ~1.2x)\n",
+		ratio(stats.BgIndex))
+	aggressor := func(p workload.NoisyPhase) workload.TenantResult {
 		for _, t := range p.Tenants {
 			if t.Tenant == "aggressor" {
-				return t.Txns
+				return t
 			}
 		}
-		return 0
+		return workload.TenantResult{}
 	}
-	fmt.Fprintf(w, "  aggressor throughput: ungoverned %d txns/phase -> governed %d (quota cap %.0f)\n",
-		aggressor(stats.Ungoverned), aggressor(stats.Governed), stats.AggressorCap)
+	// The persisted phase halves the quota per server, so the two servers'
+	// combined budget equals the single-server cap.
+	fmt.Fprintf(w, "  aggressor txns/phase: ungoverned %d -> txn-governed %d (cap %.0f) -> persisted-on-2-servers %d (combined cap ~%.0f)\n",
+		aggressor(stats.Ungoverned).Txns, aggressor(stats.Governed).Txns, stats.AggressorCap,
+		aggressor(stats.Persisted).Txns, stats.AggressorCap)
+	fmt.Fprintf(w, "  aggressor bytes: ungoverned %.1f MB -> byte-governed %.2f MB (budget %.2f MB, capped: %v)\n",
+		float64(aggressor(stats.Ungoverned).Bytes)/(1<<20),
+		float64(aggressor(stats.ByteHog).Bytes)/(1<<20),
+		float64(stats.ByteBudget)/(1<<20), stats.ByteCapped)
+	fmt.Fprintf(w, "  persisted limits: two governors loaded one LimitsStore, consistent: %v\n",
+		stats.SharedLimitsConsistent)
 	if stats.Isolated {
 		fmt.Fprintln(w, "  ISOLATION HELD: governed victims within 2x of aggressor-free baseline")
 	} else {
 		fmt.Fprintln(w, "  isolation NOT held on this run/machine (timing-sensitive)")
+	}
+
+	if short {
+		if err := stats.Check(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "  SMOKE GATE PASSED: all governance invariants held")
+		return nil
 	}
 
 	un, gov, err := workload.MeasureGovernanceOverhead(context.Background(), 2000)

@@ -5,15 +5,20 @@
 // bounded retry loop — narrating each step. Useful as a smoke test and as
 // living documentation.
 //
-//	go run ./cmd/rl           # the tour
-//	go run ./cmd/rl tenants   # resource governance: per-tenant usage snapshots
+//	go run ./cmd/rl                        # the tour
+//	go run ./cmd/rl tenants                # per-tenant usage snapshots
+//	go run ./cmd/rl tenants set-limits t1 -rate 50 -bytes 65536
+//	                                       # persist quotas in the database
+//	go run ./cmd/rl tenants show           # the persisted limits table
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"recordlayer"
 	"recordlayer/internal/fdb"
@@ -31,6 +36,19 @@ func main() {
 		switch os.Args[1] {
 		case "tour":
 		case "tenants":
+			if len(os.Args) > 2 {
+				switch os.Args[2] {
+				case "set-limits":
+					setLimitsCmd(os.Args[3:])
+					return
+				case "show":
+					showLimitsCmd()
+					return
+				default:
+					fmt.Fprintf(os.Stderr, "usage: rl tenants [set-limits <tenant> [flags]|show]\n")
+					os.Exit(2)
+				}
+			}
 			tenantsCmd()
 			return
 		default:
@@ -39,6 +57,89 @@ func main() {
 		}
 	}
 	tour()
+}
+
+// setLimitsCmd persists one tenant's quotas through the LimitsStore, then
+// proves the paper-shaped flow: two independent Governors — two "stateless
+// servers" — load the same table and enforce identical limits with no
+// in-process SetLimits call. (The bundled FoundationDB simulator is
+// in-memory, so the whole flow runs in one process; against a real cluster
+// the write and the loads would happen on different machines.)
+func setLimitsCmd(args []string) {
+	fs := flag.NewFlagSet("set-limits", flag.ExitOnError)
+	rate := fs.Float64("rate", 0, "transactions per second (0 = unlimited)")
+	burst := fs.Int("burst", 0, "txn token-bucket depth (0 = default)")
+	bytes := fs.Float64("bytes", 0, "read+write bytes per second (0 = unlimited)")
+	byteBurst := fs.Int64("byteburst", 0, "byte token-bucket depth (0 = default)")
+	concurrent := fs.Int("concurrent", 0, "max in-flight transactions (0 = unlimited)")
+	weight := fs.Int("weight", 0, "fair-share weight (0 = 1)")
+	if len(args) < 1 || args[0] == "" || args[0][0] == '-' {
+		fmt.Fprintln(os.Stderr, "usage: rl tenants set-limits <tenant> [-rate N] [-burst N] [-bytes N] [-byteburst N] [-concurrent N] [-weight N]")
+		os.Exit(2)
+	}
+	tenant := args[0]
+	must(fs.Parse(args[1:]))
+
+	db := fdb.Open(nil)
+	store := recordlayer.NewLimitsStore(db)
+	lim := recordlayer.TenantLimits{
+		TxnPerSecond:   *rate,
+		Burst:          *burst,
+		BytesPerSecond: *bytes,
+		ByteBurst:      *byteBurst,
+		MaxConcurrent:  *concurrent,
+		Weight:         *weight,
+	}
+	must(store.Set(tenant, lim))
+	fmt.Printf("persisted limits for %q under /__system__/limits:\n", tenant)
+	printLimitsTable(store)
+
+	// Two stateless servers load the same table.
+	govA := recordlayer.NewGovernor(nil, recordlayer.GovernorOptions{})
+	govB := recordlayer.NewGovernor(nil, recordlayer.GovernorOptions{})
+	nA, err := govA.LoadLimits(store)
+	must(err)
+	_, err = govB.LoadLimits(store)
+	must(err)
+	fmt.Printf("\ntwo governors loaded %d persisted tenant(s); no SetLimits call anywhere:\n", nA)
+	for i, gov := range []*recordlayer.Governor{govA, govB} {
+		l := gov.LimitsFor(tenant)
+		fmt.Printf("  server %d LimitsFor(%q) = {rate %.0f/s burst %d bytes %.0f/s byteburst %d concurrent %d weight %d}\n",
+			i+1, tenant, l.TxnPerSecond, l.Burst, l.BytesPerSecond, l.ByteBurst, l.MaxConcurrent, l.Weight)
+	}
+}
+
+// showLimitsCmd prints the persisted limits table. The in-memory simulator
+// starts empty, so a few example rows are seeded first (clearly marked) to
+// show the encoding round-trip and the operator's view.
+func showLimitsCmd() {
+	db := fdb.Open(nil)
+	store := recordlayer.NewLimitsStore(db)
+	all, err := store.All()
+	must(err)
+	if len(all) == 0 {
+		fmt.Println("(limits table empty; seeding example rows — an in-memory simulator starts blank)")
+		must(store.Set("acme", recordlayer.TenantLimits{TxnPerSecond: 100, MaxConcurrent: 8}))
+		must(store.Set("freeloader", recordlayer.TenantLimits{TxnPerSecond: 10, Burst: 2, BytesPerSecond: 64 << 10}))
+	}
+	printLimitsTable(store)
+}
+
+func printLimitsTable(store *recordlayer.LimitsStore) {
+	all, err := store.All()
+	must(err)
+	fmt.Printf("  %-12s %8s %6s %10s %10s %6s %6s\n",
+		"TENANT", "TXN/S", "BURST", "BYTES/S", "BYTEBURST", "CONC", "WEIGHT")
+	names := make([]string, 0, len(all))
+	for t := range all {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		l := all[t]
+		fmt.Printf("  %-12s %8.0f %6d %10.0f %10d %6d %6d\n",
+			t, l.TxnPerSecond, l.Burst, l.BytesPerSecond, l.ByteBurst, l.MaxConcurrent, l.Weight)
+	}
 }
 
 // tenantsCmd drives a short governed multi-tenant workload and prints each

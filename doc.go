@@ -20,8 +20,10 @@
 //     continuation accessors.
 //   - Resource governance: per-tenant metering (Accountant) and admission
 //     control (Governor) arbitrate the shared cluster *between* tenants —
-//     the layer that turns per-request limits into fair multi-tenancy (§1,
-//     §5 "millions of tenant stores").
+//     transaction-rate and byte-rate quotas, concurrency ceilings, priority
+//     classes, and limits persisted in the database so every stateless
+//     server enforces the same numbers (§1, §5 "millions of tenant
+//     stores").
 //
 // The essential workflow:
 //
@@ -84,7 +86,7 @@
 //	ctx = recordlayer.WithTenant(ctx, "tenant-7")
 //	_, err := runner.Run(ctx, work) // admission, then metered execution
 //
-// A tenant over its token-bucket rate quota fails fast with a typed
+// A tenant over its token-bucket quotas fails fast with a typed
 // *QuotaExceededError; the recommended backoff is to wait its RetryAfter
 // (with jitter) before retrying:
 //
@@ -94,13 +96,35 @@
 //		// retry
 //	}
 //
+// Two buckets exist per tenant. TxnPerSecond/Burst bounds admissions;
+// BytesPerSecond/ByteBurst bounds the bytes the tenant actually reads and
+// writes — the scan, save, and index layers feed their byte counts through
+// the tenant's Meter into the governor post-hoc, so a transaction can
+// overdraw the bucket into debt and further admissions are rejected until
+// refill clears it. The error's Resource field names the drained bucket.
+//
 // A tenant over its concurrency ceiling (or a full cluster) waits instead:
 // queued admissions are granted weighted-fairly — lowest in-flight share
 // relative to TenantLimits.Weight first — so a hot tenant cannot starve the
-// rest. Operators read usage with Accountant.Snapshot (see `rl tenants`),
-// and a StoreProvider with ProviderOptions.Accountant meters traffic even
-// for requests that bypass the Runner's tenant binding. The noisy-neighbor
-// experiment (cmd/experiments -run nn) measures the isolation this buys.
+// rest. Admissions carry a priority class (WithPriority): background work
+// is granted only capacity no foreground waiter wants, and PaceFromGovernor
+// turns that into an OnlineIndexer.Pace hook so index builds throttle under
+// tenant load.
+//
+// Quotas persist in the database rather than in any process: write them
+// through NewLimitsStore(db) (or `rl tenants set-limits`), and every
+// server's Governor applies the shared table via LoadLimits or a
+// WatchLimits refresh loop. Per-tenant in-memory state is bounded:
+// GovernorOptions.IdleTTL (and Accountant.EvictIdle) evict long-idle
+// tenants whose buckets have refilled, so a server tracking millions of
+// tenants does not grow without bound — and eviction never forgets a
+// drained quota.
+//
+// Operators read usage with Accountant.Snapshot (see `rl tenants`) or the
+// copy-free ForEach, and a StoreProvider with ProviderOptions.Accountant
+// meters traffic even for requests that bypass the Runner's tenant binding.
+// The noisy-neighbor experiment (cmd/experiments -run nn; -short is the CI
+// smoke gate) measures the isolation all of this buys.
 //
 // The implementation lives under internal/: the FoundationDB simulator
 // (internal/fdb), the tuple, subspace, directory and keyspace layers, a

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 
+	"recordlayer/internal/core"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyspace"
 	"recordlayer/internal/resource"
 )
 
@@ -11,10 +14,12 @@ import (
 //
 // The Accountant meters what every tenant reads, writes, conflicts on, and
 // how long its transactions take; the Governor enforces per-tenant
-// token-bucket rate limits and concurrency ceilings, sharing capacity
-// weighted-fairly when the cluster is saturated. Bind a tenant with
-// WithTenant and hand the Runner a Governor (or just an Accountant) — the
-// store, scan, and index layers then meter automatically via the context:
+// token-bucket transaction-rate and byte-rate quotas plus concurrency
+// ceilings, sharing capacity weighted-fairly when the cluster is saturated
+// and granting background work only capacity foreground traffic leaves
+// idle. Bind a tenant with WithTenant and hand the Runner a Governor (or
+// just an Accountant) — the store, scan, and index layers then meter
+// automatically via the context:
 //
 //	acct := recordlayer.NewAccountant()
 //	gov := recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{
@@ -29,6 +34,16 @@ import (
 //	if errors.As(err, &qe) {
 //		time.Sleep(qe.RetryAfter) // recommended backoff
 //	}
+//
+// For a fleet of stateless servers, persist the quotas in the database
+// instead of calling SetLimits in-process: operators write them once through
+// a LimitsStore, every server loads (and periodically reloads) the same
+// table:
+//
+//	limits := recordlayer.NewLimitsStore(db)
+//	_ = limits.Set("hot-tenant", recordlayer.TenantLimits{TxnPerSecond: 100, BytesPerSecond: 1 << 20})
+//	_, _ = gov.LoadLimits(limits)                       // at startup
+//	go gov.WatchLimits(ctx, limits, 10*time.Second)     // refresh loop
 
 // Accountant is the per-tenant usage registry; see internal/resource.
 type Accountant = resource.Accountant
@@ -48,9 +63,24 @@ type TenantUsage = resource.Usage
 // TenantMeter is one tenant's live counters.
 type TenantMeter = resource.Meter
 
-// QuotaExceededError reports an exhausted tenant rate quota; it carries the
-// recommended RetryAfter backoff.
+// QuotaExceededError reports an exhausted tenant rate or byte quota; it
+// carries the recommended RetryAfter backoff and the drained Resource.
 type QuotaExceededError = resource.QuotaExceededError
+
+// Priority is an admission's class; see WithPriority.
+type Priority = resource.Priority
+
+// Admission priority classes. Background admissions are granted only when no
+// foreground waiter is eligible, so deprioritized work (index builds,
+// backfills) yields to interactive traffic.
+const (
+	PriorityForeground = resource.PriorityForeground
+	PriorityBackground = resource.PriorityBackground
+)
+
+// LimitsStore persists per-tenant limits in the database so every stateless
+// server enforces the same quotas; see Governor.LoadLimits/WatchLimits.
+type LimitsStore = resource.LimitsStore
 
 // NewAccountant creates an empty usage registry.
 func NewAccountant() *Accountant { return resource.NewAccountant() }
@@ -73,9 +103,48 @@ func TenantFromContext(ctx context.Context) (string, bool) {
 	return resource.TenantFrom(ctx)
 }
 
-// IsQuotaExceeded reports whether err is (or wraps) a tenant rate-quota
-// rejection. Callers should back off for the error's RetryAfter.
+// IsQuotaExceeded reports whether err is (or wraps) a tenant rate- or
+// byte-quota rejection. Callers should back off for the error's RetryAfter.
 func IsQuotaExceeded(err error) bool {
 	var qe *QuotaExceededError
 	return errors.As(err, &qe)
+}
+
+// WithPriority binds an admission priority class to the context; the
+// Runner's Governor reads it during admission. Unbound contexts are
+// foreground.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return resource.WithPriority(ctx, p)
+}
+
+// limitsDirName is the reserved system directory persisted tenant limits
+// live under. The double-underscore prefix keeps it visually distinct from
+// application keyspaces; applications must not place data beneath it.
+const limitsDirName = "__system__"
+
+// NewLimitsStore opens the cluster's reserved tenant-limits directory
+// ("/__system__/limits", constant keyspace directories, so it compiles
+// without a transaction). Every server sharing db sees the same table:
+// write quotas with LimitsStore.Set (e.g. from `rl tenants set-limits`) and
+// apply them with Governor.LoadLimits or a WatchLimits refresh loop.
+func NewLimitsStore(db *fdb.Database) *LimitsStore {
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant(limitsDirName, limitsDirName).Add(
+			keyspace.NewConstant("limits", "limits")))
+	if err != nil {
+		panic(err) // static constant tree; cannot fail
+	}
+	space, err := ks.MustPath(limitsDirName).MustAdd("limits").ToSubspaceStatic()
+	if err != nil {
+		panic(err)
+	}
+	return resource.NewLimitsStore(db, space)
+}
+
+// PaceFromGovernor adapts gov into an OnlineIndexer.Pace hook: each batch
+// boundary acquires (and immediately releases) a background-priority
+// admission for tenant, so an online index build throttles under the
+// tenant's quotas and yields capacity to foreground traffic.
+func PaceFromGovernor(gov *Governor, tenant string) func(context.Context) error {
+	return core.PaceFromGovernor(gov, tenant)
 }

@@ -2,11 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/resource"
 	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
@@ -31,10 +34,40 @@ type OnlineIndexer struct {
 	BatchSize int
 	Config    Config
 	// Pace, when set, runs between batches — a throttling hook: sleep to
-	// bound the build's cluster load, or consult a resource Governor.
-	// Returning an error (e.g. ctx.Err()) stops the build like a
-	// cancellation. Progress stays persisted either way.
+	// bound the build's cluster load, or consult a resource Governor
+	// (PaceFromGovernor). Returning an error (e.g. ctx.Err()) stops the
+	// build like a cancellation. Progress stays persisted either way.
 	Pace func(ctx context.Context) error
+}
+
+// PaceFromGovernor adapts a resource.Governor into an OnlineIndexer.Pace
+// hook: each batch boundary acquires — and immediately releases — a
+// background-priority admission on tenant's behalf, so the build waits
+// whenever foreground traffic is queued for capacity and backs off for
+// RetryAfter whenever the tenant is over a rate or byte quota. The build
+// therefore consumes only capacity the interactive workload is not using.
+func PaceFromGovernor(g *resource.Governor, tenant string) func(context.Context) error {
+	return func(ctx context.Context) error {
+		bctx := resource.WithPriority(ctx, resource.PriorityBackground)
+		for {
+			release, err := g.Admit(bctx, tenant)
+			if err == nil {
+				release()
+				return nil
+			}
+			var qe *resource.QuotaExceededError
+			if !errors.As(err, &qe) {
+				return err
+			}
+			t := time.NewTimer(qe.RetryAfter)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
 }
 
 func idempotentType(t metadata.IndexType) bool {

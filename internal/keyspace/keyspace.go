@@ -319,6 +319,20 @@ func (p Path) ToSubspace(tr *fdb.Transaction) (subspace.Subspace, error) {
 	return subspace.FromTuple(t), nil
 }
 
+// ToSubspaceStatic compiles a path containing no interned directories
+// without a transaction. System paths (e.g. the reserved tenant-limits
+// directory) are resolved once at startup, before any transaction exists;
+// interned directories need the directory layer and must use ToSubspace.
+func (p Path) ToSubspaceStatic() (subspace.Subspace, error) {
+	for i, d := range p.dirs {
+		if d.interned {
+			return subspace.Subspace{}, fmt.Errorf(
+				"keyspace: directory %q is interned; ToSubspaceStatic needs a transaction-free path", p.elems[i].Name)
+		}
+	}
+	return p.ToSubspace(nil)
+}
+
 // String renders the path like a filesystem path for diagnostics.
 func (p Path) String() string {
 	s := ""

@@ -197,3 +197,25 @@ func TestPathForValueCountMismatch(t *testing.T) {
 		t.Fatal("empty template should fail")
 	}
 }
+
+func TestToSubspaceStatic(t *testing.T) {
+	ks, err := New(nil,
+		NewConstant("sys", "sys").Add(NewConstant("limits", "limits")),
+		NewInterned("tenant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant-only paths compile with no transaction.
+	sp, err := ks.MustPath("sys").MustAdd("limits").ToSubspaceStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := subspace.FromTuple(tuple.Tuple{"sys", "limits"})
+	if string(sp.Bytes()) != string(want.Bytes()) {
+		t.Errorf("static subspace = %x, want %x", sp.Bytes(), want.Bytes())
+	}
+	// Interned directories are rejected: they need the directory layer.
+	if _, err := ks.MustPath("tenant", "acme").ToSubspaceStatic(); err == nil {
+		t.Error("interned path compiled without a transaction")
+	}
+}

@@ -20,7 +20,10 @@ type Options struct {
 	Snapshot bool
 	// Limiter enforces out-of-band resource limits (may be nil).
 	Limiter *cursor.Limiter
-	// Meter accounts scanned pairs and bytes to a tenant (may be nil).
+	// Meter accounts scanned pairs and bytes to a tenant (may be nil). When
+	// a Governor enforces a byte quota for the tenant, the bytes recorded
+	// here also debit its byte bucket post-hoc via the meter's sink — the
+	// scan stays parameter-free.
 	Meter *resource.Meter
 	// Continuation resumes after a previously returned key.
 	Continuation []byte

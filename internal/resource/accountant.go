@@ -38,7 +38,8 @@ type Usage struct {
 	WriteRecords int64
 	WriteBytes   int64
 	// Transactions counts successful Runner executions; TxnTime is their
-	// cumulative wall-clock latency (including retries and backoff).
+	// cumulative wall-clock latency (including admission queue wait,
+	// retries, and backoff).
 	Transactions int64
 	TxnTime      time.Duration
 	// Conflicts counts transaction attempts aborted by the resolver
@@ -75,6 +76,26 @@ type Meter struct {
 	admitted     atomic.Int64
 	rejected     atomic.Int64
 	throttled    atomic.Int64
+
+	// byteSink, when set by a Governor enforcing a byte quota, receives
+	// every read/written byte count so the tenant's byte bucket is debited
+	// post-hoc — the deep layers keep calling just RecordRead/RecordWrite.
+	byteSink atomic.Value // of func(int)
+}
+
+// setByteSink installs (or, with nil, detaches) the byte-quota callback.
+func (m *Meter) setByteSink(fn func(int)) {
+	if m == nil {
+		return
+	}
+	m.byteSink.Store(fn)
+}
+
+// chargeBytes forwards n to the byte sink, if one is attached.
+func (m *Meter) chargeBytes(n int) {
+	if fn, _ := m.byteSink.Load().(func(int)); fn != nil {
+		fn(n)
+	}
 }
 
 // Tenant returns the tenant ID the meter accounts for.
@@ -92,6 +113,7 @@ func (m *Meter) RecordRead(rows, nbytes int) {
 	}
 	m.readRecords.Add(int64(rows))
 	m.readBytes.Add(int64(nbytes))
+	m.chargeBytes(nbytes)
 }
 
 // RecordWrite accounts rows pairs totalling nbytes written (or cleared).
@@ -101,6 +123,7 @@ func (m *Meter) RecordWrite(rows, nbytes int) {
 	}
 	m.writeRecords.Add(int64(rows))
 	m.writeBytes.Add(int64(nbytes))
+	m.chargeBytes(nbytes)
 }
 
 // RecordTxn accounts one successful transactional execution and its
@@ -160,17 +183,44 @@ func (m *Meter) Snapshot() Usage {
 	}
 }
 
+// activity returns a cheap monotone composite of the meter's counters: it
+// advances whenever any traffic is recorded, so EvictIdle can detect quiet
+// meters without stamping a timestamp on every hot-path recording.
+func (m *Meter) activity() int64 {
+	return m.readRecords.Load() + m.readBytes.Load() +
+		m.writeRecords.Load() + m.writeBytes.Load() +
+		m.transactions.Load() + m.conflicts.Load() +
+		m.admitted.Load() + m.rejected.Load()
+}
+
 // Accountant is the registry of tenant meters: one Meter per tenant ID,
 // created on first use. Safe for concurrent use; lookups after the first are
 // a read-locked map hit.
 type Accountant struct {
 	mu      sync.RWMutex
 	tenants map[string]*Meter
+	// lastActivity holds each tenant's activity() composite at the previous
+	// EvictIdle sweep; a tenant unchanged across two sweeps is evicted.
+	lastActivity map[string]int64
+	// meterInit, when set by a Governor, supplies the byte-quota sink for
+	// every meter at creation — including meters recreated after EvictIdle,
+	// so traffic arriving outside the admission path (a provider-level
+	// accountant) cannot escape a byte quota. Holds func(string) func(int);
+	// the callback must not call back into the accountant.
+	meterInit atomic.Value
+}
+
+// setMeterInit registers the meter-creation hook (last registration wins).
+func (a *Accountant) setMeterInit(fn func(tenant string) func(int)) {
+	if a == nil {
+		return
+	}
+	a.meterInit.Store(fn)
 }
 
 // NewAccountant creates an empty accountant.
 func NewAccountant() *Accountant {
-	return &Accountant{tenants: make(map[string]*Meter)}
+	return &Accountant{tenants: make(map[string]*Meter), lastActivity: make(map[string]int64)}
 }
 
 // Tenant returns tenant's meter, creating it on first use. Nil-safe: a nil
@@ -191,6 +241,11 @@ func (a *Accountant) Tenant(tenant string) *Meter {
 		return m
 	}
 	m = &Meter{tenant: tenant}
+	if init, _ := a.meterInit.Load().(func(string) func(int)); init != nil {
+		if sink := init(tenant); sink != nil {
+			m.setByteSink(sink)
+		}
+	}
 	a.tenants[tenant] = m
 	return m
 }
@@ -223,4 +278,64 @@ func (a *Accountant) Snapshot() []Usage {
 		out = append(out, a.tenants[id].Snapshot())
 	}
 	return out
+}
+
+// Len reports how many tenants have live meters.
+func (a *Accountant) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.tenants)
+}
+
+// ForEach calls fn with every live meter, stopping early when fn returns
+// false. Unlike Snapshot it neither sorts nor copies the counters — the
+// lightweight path for a server walking millions of tenants (e.g. a usage
+// exporter that snapshots selectively). The iteration order is undefined,
+// and fn must not create tenants (it runs under the registry's read lock).
+func (a *Accountant) ForEach(fn func(*Meter) bool) {
+	if a == nil {
+		return
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, m := range a.tenants {
+		if !fn(m) {
+			return
+		}
+	}
+}
+
+// EvictIdle drops every meter that has recorded nothing since the previous
+// EvictIdle call — two consecutive quiet sweeps — and returns how many were
+// evicted. Evicted counters are lost: export usage (Snapshot or ForEach)
+// before sweeping if the numbers feed billing. A meter is recreated on the
+// tenant's next recording, starting from zero.
+func (a *Accountant) EvictIdle() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for id, m := range a.tenants {
+		act := m.activity()
+		if last, seen := a.lastActivity[id]; seen && last == act {
+			delete(a.tenants, id)
+			delete(a.lastActivity, id)
+			n++
+			continue
+		}
+		a.lastActivity[id] = act
+	}
+	// Forget watermarks for tenants already gone (defensive; Tenant never
+	// removes entries outside this sweep).
+	for id := range a.lastActivity {
+		if _, ok := a.tenants[id]; !ok {
+			delete(a.lastActivity, id)
+		}
+	}
+	return n
 }

@@ -11,7 +11,41 @@ type ctxKey int
 const (
 	tenantKey ctxKey = iota
 	meterKey
+	priorityKey
 )
+
+// Priority is an admission's class. The Governor grants background
+// admissions only when no foreground waiter is eligible, so deprioritized
+// work (online index builds, backfills) yields to interactive traffic.
+type Priority int
+
+const (
+	// PriorityForeground is the default: interactive, latency-sensitive work.
+	PriorityForeground Priority = iota
+	// PriorityBackground marks deprioritized work that should yield capacity
+	// to foreground traffic whenever the cluster is contended.
+	PriorityBackground
+)
+
+func (p Priority) String() string {
+	if p == PriorityBackground {
+		return "background"
+	}
+	return "foreground"
+}
+
+// WithPriority binds an admission priority class to the context. The
+// Governor reads it during Admit; an unbound context is foreground.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey, p)
+}
+
+// PriorityFrom returns the priority bound to the context
+// (PriorityForeground when none is bound).
+func PriorityFrom(ctx context.Context) Priority {
+	p, _ := ctx.Value(priorityKey).(Priority)
+	return p
+}
 
 // WithTenant binds a tenant identity to the context. The Runner uses it to
 // acquire admission and select the tenant's meter; everything downstream of

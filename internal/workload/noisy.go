@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"recordlayer"
+	"recordlayer/internal/core"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/keyexpr"
 	"recordlayer/internal/keyspace"
@@ -19,10 +21,13 @@ import (
 
 // NoisyConfig sizes the noisy-neighbor experiment: N well-behaved tenants
 // issuing small steady transactions share a cluster with one aggressor
-// hammering large writes. Three phases run on fresh clusters — the victims
-// alone (baseline), victims plus aggressor ungoverned, and victims plus
-// aggressor under a Governor that rate-limits the aggressor — so the
-// experiment isolates what governance buys (§1, §5: fair multi-tenancy).
+// hammering large writes. Phases run on fresh clusters — the victims alone
+// (baseline), victims plus aggressor ungoverned, and then under successive
+// governance mechanisms: a txn-rate quota, a byte-rate quota, quotas
+// persisted in a LimitsStore and loaded by two independent Governors (two
+// "stateless servers"), and a background online index build yielding to
+// foreground traffic — so the experiment isolates what each mechanism buys
+// (§1, §5: fair multi-tenancy).
 type NoisyConfig struct {
 	// Victims is the number of well-behaved tenants (default 4).
 	Victims int
@@ -34,6 +39,14 @@ type NoisyConfig struct {
 	AggressorRate float64
 	// AggressorBurst is the governed token-bucket depth (default 4).
 	AggressorBurst int
+	// AggressorByteRate is the byte-hog phase's quota in bytes/s (default
+	// 256 KiB/s).
+	AggressorByteRate float64
+	// AggressorByteBurst is the byte bucket depth (default 64 KiB).
+	AggressorByteBurst int64
+	// IndexRecords pre-populates the background-index phase's bulk store
+	// (default 1200).
+	IndexRecords int
 	// Seed shapes the record payloads.
 	Seed int64
 }
@@ -54,6 +67,15 @@ func (c NoisyConfig) withDefaults() NoisyConfig {
 	if c.AggressorBurst <= 0 {
 		c.AggressorBurst = 4
 	}
+	if c.AggressorByteRate <= 0 {
+		c.AggressorByteRate = 256 << 10
+	}
+	if c.AggressorByteBurst <= 0 {
+		c.AggressorByteBurst = 64 << 10
+	}
+	if c.IndexRecords <= 0 {
+		c.IndexRecords = 1200
+	}
 	return c
 }
 
@@ -61,6 +83,7 @@ func (c NoisyConfig) withDefaults() NoisyConfig {
 type TenantResult struct {
 	Tenant     string
 	Txns       int
+	Bytes      int64 // read+write bytes the Accountant charged the tenant
 	Rejections int64
 	Throughput float64 // successful txn/s
 	P50, P95   time.Duration
@@ -72,6 +95,8 @@ type NoisyPhase struct {
 	Tenants   []TenantResult // victims first (sorted), aggressor last if present
 	VictimP50 time.Duration  // pooled victim latency median
 	VictimP95 time.Duration
+	Elapsed   time.Duration // measured wall time of the phase's worker loops
+	Indexed   int           // records the background index build processed
 }
 
 // NoisyStats is the whole experiment's outcome.
@@ -79,37 +104,161 @@ type NoisyStats struct {
 	Config     NoisyConfig
 	Baseline   NoisyPhase // victims only
 	Ungoverned NoisyPhase // + aggressor, no governor
-	Governed   NoisyPhase // + aggressor, governor caps it
-	// AggressorCap is the maximum admissions the governed aggressor's quota
-	// allows in one phase (burst + rate·phase).
+	Governed   NoisyPhase // + aggressor, txn-rate quota caps it
+	ByteHog    NoisyPhase // + aggressor, byte-rate quota caps it
+	Persisted  NoisyPhase // + aggressor, quotas via LimitsStore into 2 governors
+	BgIndex    NoisyPhase // victims + background online index build
+
+	// AggressorCap is the maximum admissions the governed aggressor's
+	// txn-rate quota allows in one phase (burst + rate·phase).
 	AggressorCap float64
-	// Isolated reports the acceptance criterion: the governed victims' p50
-	// stayed within 2x of their aggressor-free baseline.
+	// ByteBudget is the byte-hog phase's drainable budget over its measured
+	// elapsed time (byte burst + byte rate·elapsed).
+	ByteBudget int64
+	// ByteCapped reports the aggressor's accounted bytes stayed near
+	// ByteBudget (within slack for post-hoc debt and metering overshoot).
+	ByteCapped bool
+	// SharedLimitsConsistent reports both store-fed governors saw identical
+	// non-zero limits for the aggressor with no in-process SetLimits call.
+	SharedLimitsConsistent bool
+	// Isolated reports the txn-governed victims' p50 stayed within 2x of
+	// their aggressor-free baseline.
 	Isolated bool
+	// BgIsolated reports victims' p50 during the background index build
+	// stayed within 2x of baseline (the demonstration target is ~1.2x; the
+	// pass bound is looser because p50 on a loaded CI machine is noisy).
+	BgIsolated bool
 }
 
 // aggressor tenant ID; victims are "victim-0".."victim-N".
 const aggressorTenant = "aggressor"
 
-// RunNoisyNeighbor runs the three phases and evaluates isolation.
+// bulkTenant owns the store the background index build walks.
+const bulkTenant = "bulk"
+
+// The workload shapes. byteCapBound derives the smoke gate's pass/fail line
+// from these, so tuning the aggressor cannot silently skew the CI gate.
+const (
+	victimRecsPerTxn    = 3
+	victimRecSize       = 200
+	aggressorRecsPerTxn = 12
+	aggressorRecSize    = 4096
+	// byteQuotaConcurrency is the byte-hog aggressor's MaxConcurrent: each
+	// in-flight transaction admitted while the bucket was still positive
+	// can overshoot the budget by one transaction's bytes.
+	byteQuotaConcurrency = 2
+	// writeAmplification pads one transaction's payload bytes up to what
+	// the store layers actually charge (record chunks, versions, keys).
+	writeAmplification = 3
+)
+
+// RunNoisyNeighbor runs every phase and evaluates the isolation criteria.
 func RunNoisyNeighbor(ctx context.Context, cfg NoisyConfig) (NoisyStats, error) {
 	cfg = cfg.withDefaults()
 	stats := NoisyStats{Config: cfg}
 	stats.AggressorCap = float64(cfg.AggressorBurst) + cfg.AggressorRate*cfg.Phase.Seconds()
 
 	var err error
-	if stats.Baseline, err = runNoisyPhase(ctx, cfg, "baseline", false, false); err != nil {
+	if stats.Baseline, err = runNoisyPhase(ctx, cfg, noisySpec{name: "baseline"}); err != nil {
 		return stats, err
 	}
-	if stats.Ungoverned, err = runNoisyPhase(ctx, cfg, "ungoverned", true, false); err != nil {
+	if stats.Ungoverned, err = runNoisyPhase(ctx, cfg, noisySpec{name: "ungoverned", withAggressor: true}); err != nil {
 		return stats, err
 	}
-	if stats.Governed, err = runNoisyPhase(ctx, cfg, "governed", true, true); err != nil {
+	if stats.Governed, err = runNoisyPhase(ctx, cfg, noisySpec{name: "governed", withAggressor: true, txnQuota: true}); err != nil {
 		return stats, err
 	}
+	if stats.ByteHog, err = runNoisyPhase(ctx, cfg, noisySpec{name: "byte-hog", withAggressor: true, byteQuota: true}); err != nil {
+		return stats, err
+	}
+	var consistent bool
+	if stats.Persisted, consistent, err = runPersistedPhase(ctx, cfg); err != nil {
+		return stats, err
+	}
+	stats.SharedLimitsConsistent = consistent
+	if stats.BgIndex, err = runNoisyPhase(ctx, cfg, noisySpec{name: "bg-index", bgIndex: true}); err != nil {
+		return stats, err
+	}
+
+	stats.ByteBudget = cfg.AggressorByteBurst +
+		int64(cfg.AggressorByteRate*stats.ByteHog.Elapsed.Seconds())
+	stats.ByteCapped = aggressorOf(stats.ByteHog).Bytes <= byteCapBound(stats.ByteBudget)
 	stats.Isolated = stats.Baseline.VictimP50 > 0 &&
 		stats.Governed.VictimP50 <= 2*stats.Baseline.VictimP50
+	stats.BgIsolated = stats.Baseline.VictimP50 > 0 &&
+		stats.BgIndex.VictimP50 <= 2*stats.Baseline.VictimP50
 	return stats, nil
+}
+
+// byteCapBound is the most bytes a correctly byte-governed aggressor can be
+// charged: the drainable budget, plus post-hoc debt overshoot from
+// transactions admitted while the bucket was still positive (bounded by the
+// concurrency ceiling times one transaction's bytes), with 25% slack for
+// scheduling jitter in elapsed-time measurement.
+func byteCapBound(budget int64) int64 {
+	perTxn := int64(aggressorRecsPerTxn * aggressorRecSize * writeAmplification)
+	return budget + budget/4 + byteQuotaConcurrency*perTxn
+}
+
+// aggressorOf returns the aggressor's row in a phase (zero row if absent).
+func aggressorOf(p NoisyPhase) TenantResult {
+	for _, t := range p.Tenants {
+		if t.Tenant == aggressorTenant {
+			return t
+		}
+	}
+	return TenantResult{}
+}
+
+// Check returns an error describing every governance invariant the run
+// violated — the deterministic smoke gate CI runs (`cmd/experiments -run nn
+// -short`). Latency-ratio checks use generous bounds; the quota-cap and
+// shared-limits checks are tight because the token buckets are exact.
+func (s NoisyStats) Check() error {
+	var problems []string
+	if a := aggressorOf(s.Governed); float64(a.Txns) > s.AggressorCap*1.25+2 {
+		problems = append(problems, fmt.Sprintf(
+			"txn-governed aggressor ran %d txns, quota cap %.0f", a.Txns, s.AggressorCap))
+	}
+	if !s.ByteCapped {
+		problems = append(problems, fmt.Sprintf(
+			"byte-governed aggressor charged %d bytes, budget %d (bound %d)",
+			aggressorOf(s.ByteHog).Bytes, s.ByteBudget, byteCapBound(s.ByteBudget)))
+	}
+	if !s.SharedLimitsConsistent {
+		problems = append(problems, "store-fed governors disagreed on persisted limits")
+	}
+	// The persisted phase halves rate and burst per server, so the two
+	// servers' combined budget is ~AggressorCap (+1 for burst rounding) —
+	// a regression that applied the unhalved rate would double it and trip
+	// this bound.
+	if a := aggressorOf(s.Persisted); float64(a.Txns) > (s.AggressorCap+1)*1.25+4 {
+		problems = append(problems, fmt.Sprintf(
+			"persisted-limits aggressor ran %d txns across 2 servers, combined cap ~%.0f", a.Txns, s.AggressorCap))
+	}
+	for _, p := range []NoisyPhase{s.Baseline, s.Governed, s.ByteHog, s.Persisted, s.BgIndex} {
+		victims := 0
+		for _, t := range p.Tenants {
+			if t.Tenant != aggressorTenant {
+				victims += t.Txns
+			}
+		}
+		if victims == 0 {
+			problems = append(problems, fmt.Sprintf("phase %s: victims made no progress", p.Name))
+		}
+	}
+	if s.BgIndex.Indexed == 0 {
+		problems = append(problems, "background index build made no progress")
+	}
+	if s.Baseline.VictimP50 > 0 && s.BgIndex.VictimP50 > 3*s.Baseline.VictimP50 {
+		problems = append(problems, fmt.Sprintf(
+			"background index build tripled victim p50: %v vs baseline %v",
+			s.BgIndex.VictimP50, s.Baseline.VictimP50))
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("noisy-neighbor invariants violated:\n  - %s", strings.Join(problems, "\n  - "))
 }
 
 // noisySchema is the shared Note-style schema.
@@ -124,75 +273,82 @@ func noisySchema() (*message.Descriptor, *metadata.MetaData, error) {
 	return note, md, err
 }
 
-func runNoisyPhase(ctx context.Context, cfg NoisyConfig, name string, withAggressor, governed bool) (NoisyPhase, error) {
+// noisySchemaV2 adds the by_body index the background build constructs.
+func noisySchemaV2(note *message.Descriptor) (*metadata.MetaData, error) {
+	return metadata.NewBuilder(2).
+		AddRecordType(note, keyexpr.Field("id")).
+		AddIndex(&metadata.Index{Name: "by_body", Type: metadata.IndexValue,
+			Expression:   keyexpr.Then(keyexpr.Field("body"), keyexpr.Field("id")),
+			AddedVersion: 2}, "Note").
+		Build()
+}
+
+// noisySpec selects one phase's mechanisms.
+type noisySpec struct {
+	name          string
+	withAggressor bool
+	txnQuota      bool // aggressor capped by a txn-rate bucket (SetLimits)
+	byteQuota     bool // aggressor capped by a byte-rate bucket (SetLimits)
+	bgIndex       bool // an online index build runs at background priority
+}
+
+// noisyCluster is one fresh simulated cluster with its schema and keyspace.
+type noisyCluster struct {
+	note     *message.Descriptor
+	md       *metadata.MetaData
+	ks       *keyspace.KeySpace
+	provider *recordlayer.StoreProvider
+	db       *fdb.Database
+}
+
+func newNoisyCluster() (*noisyCluster, error) {
 	note, md, err := noisySchema()
 	if err != nil {
-		return NoisyPhase{}, err
+		return nil, err
 	}
 	ks, err := keyspace.New(nil,
 		keyspace.NewConstant("app", "noisy").Add(
 			keyspace.NewDirectory("tenant", keyspace.TypeString)))
 	if err != nil {
-		return NoisyPhase{}, err
+		return nil, err
 	}
 	provider, err := recordlayer.NewStoreProvider(md, ks, []string{"app", "tenant"},
 		recordlayer.ProviderOptions{})
 	if err != nil {
-		return NoisyPhase{}, err
+		return nil, err
 	}
-	db := fdb.Open(nil)
-	acct := recordlayer.NewAccountant()
-	opts := recordlayer.RunnerOptions{Accountant: acct}
-	if governed {
-		gov := recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{})
-		gov.SetLimits(aggressorTenant, recordlayer.TenantLimits{
-			TxnPerSecond:  cfg.AggressorRate,
-			Burst:         cfg.AggressorBurst,
-			MaxConcurrent: 1,
-		})
-		opts.Governor = gov
-	}
-	runner := recordlayer.NewRunner(db, opts)
+	return &noisyCluster{note: note, md: md, ks: ks, provider: provider, db: fdb.Open(nil)}, nil
+}
 
-	tenants := make([]string, 0, cfg.Victims+1)
-	for i := 0; i < cfg.Victims; i++ {
-		tenants = append(tenants, fmt.Sprintf("victim-%d", i))
-	}
-	if withAggressor {
-		tenants = append(tenants, aggressorTenant)
-	}
-	// Pre-create every tenant's store so the measured loops never race on
-	// directory allocation for the same path.
-	for _, tenant := range tenants {
-		tctx := recordlayer.WithTenant(ctx, tenant)
-		if _, err := runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
-			_, err := provider.Open(ctx, tr, tenant)
-			return nil, err
-		}); err != nil {
-			return NoisyPhase{}, fmt.Errorf("workload: pre-create %s: %w", tenant, err)
-		}
-	}
+// worker is one load generator's tally.
+type worker struct {
+	tenant    string
+	runner    *recordlayer.Runner
+	txns      int
+	latencies []time.Duration
+	err       error
+}
 
-	type worker struct {
-		tenant    string
-		txns      int
-		latencies []time.Duration
-		err       error
-	}
-	var workers []*worker
-	deadline := time.Now().Add(cfg.Phase)
-	var wg sync.WaitGroup
-
-	// saveTxn writes n records of size bytes each for tenant, starting at id.
-	saveTxn := func(ctx context.Context, tenant string, baseID int64, n, size int, rng *rand.Rand) error {
-		recs := make([]*message.Message, n)
+// run loops transactions until the deadline, backing off on quota
+// rejections as a well-behaved client would.
+func (w *worker) run(ctx context.Context, c *noisyCluster, deadline time.Time,
+	seed int64, recsPerTxn, recSize int, record bool, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	tctx := recordlayer.WithTenant(ctx, w.tenant)
+	// Distinct id ranges per worker keep tenants conflict-free with
+	// themselves.
+	id := seed << 32
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		start := time.Now()
+		recs := make([]*message.Message, recsPerTxn)
 		for j := range recs {
-			recs[j] = message.New(note).
-				MustSet("id", baseID+int64(j)).
-				MustSet("body", NoteBody(rng, size))
+			recs[j] = message.New(c.note).
+				MustSet("id", id+int64(j)).
+				MustSet("body", NoteBody(rng, recSize))
 		}
-		_, err := runner.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
-			store, err := provider.Open(ctx, tr, tenant)
+		_, err := w.runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := c.provider.Open(ctx, tr, w.tenant)
 			if err != nil {
 				return nil, err
 			}
@@ -203,62 +359,47 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, name string, withAggres
 			}
 			return nil, nil
 		})
-		return err
-	}
-
-	spawn := func(tenant string, workerIdx, recsPerTxn, recSize int, record bool) {
-		w := &worker{tenant: tenant}
-		workers = append(workers, w)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(workerIdx)*7919))
-			tctx := recordlayer.WithTenant(ctx, tenant)
-			// Distinct id ranges per worker keep tenants conflict-free with
-			// themselves.
-			id := int64(workerIdx) << 32
-			for time.Now().Before(deadline) && ctx.Err() == nil {
-				start := time.Now()
-				err := saveTxn(tctx, tenant, id, recsPerTxn, recSize, rng)
-				id += int64(recsPerTxn)
-				if err != nil {
-					var qe *recordlayer.QuotaExceededError
-					if errors.As(err, &qe) {
-						// The recommended backoff: wait out the quota window.
-						pause := qe.RetryAfter
-						if rest := time.Until(deadline); pause > rest {
-							pause = rest
-						}
-						time.Sleep(pause)
-						continue
-					}
-					w.err = err
-					return
+		id += int64(recsPerTxn)
+		if err != nil {
+			var qe *recordlayer.QuotaExceededError
+			if errors.As(err, &qe) {
+				// The recommended backoff: wait out the quota window.
+				pause := qe.RetryAfter
+				if rest := time.Until(deadline); pause > rest {
+					pause = rest
 				}
-				w.txns++
-				if record {
-					w.latencies = append(w.latencies, time.Since(start))
-				}
+				time.Sleep(pause)
+				continue
 			}
-		}()
-	}
-
-	idx := 0
-	for i := 0; i < cfg.Victims; i++ {
-		// Victims: one worker each, small steady writes (3 × ~200 B).
-		spawn(fmt.Sprintf("victim-%d", i), idx, 3, 200, true)
-		idx++
-	}
-	if withAggressor {
-		for i := 0; i < cfg.AggressorWorkers; i++ {
-			// Aggressor: many workers, heavy writes (12 × ~4 kB).
-			spawn(aggressorTenant, idx, 12, 4096, false)
-			idx++
+			w.err = err
+			return
+		}
+		w.txns++
+		if record {
+			w.latencies = append(w.latencies, time.Since(start))
 		}
 	}
-	wg.Wait()
+}
 
-	// Merge per-worker results into per-tenant rows.
+// precreate opens every tenant's store once so the measured loops never race
+// on directory allocation for the same path.
+func precreate(ctx context.Context, c *noisyCluster, runner *recordlayer.Runner, tenants []string) error {
+	for _, tenant := range tenants {
+		tctx := recordlayer.WithTenant(ctx, tenant)
+		if _, err := runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			_, err := c.provider.Open(ctx, tr, tenant)
+			return nil, err
+		}); err != nil {
+			return fmt.Errorf("workload: pre-create %s: %w", tenant, err)
+		}
+	}
+	return nil
+}
+
+// mergePhase folds per-worker tallies into the phase result, pulling
+// rejection and byte counts from the accountants.
+func mergePhase(name string, cfg NoisyConfig, workers []*worker, elapsed time.Duration,
+	accts ...*recordlayer.Accountant) (NoisyPhase, error) {
 	byTenant := map[string]*TenantResult{}
 	pooled := map[string][]time.Duration{}
 	for _, w := range workers {
@@ -273,7 +414,7 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, name string, withAggres
 		tr.Txns += w.txns
 		pooled[w.tenant] = append(pooled[w.tenant], w.latencies...)
 	}
-	phase := NoisyPhase{Name: name}
+	phase := NoisyPhase{Name: name, Elapsed: elapsed}
 	var victimLat []time.Duration
 	names := make([]string, 0, len(byTenant))
 	for t := range byTenant {
@@ -286,8 +427,12 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, name string, withAggres
 	})
 	for _, t := range names {
 		tr := byTenant[t]
-		tr.Throughput = float64(tr.Txns) / cfg.Phase.Seconds()
-		tr.Rejections = acct.Tenant(t).Snapshot().Rejected
+		tr.Throughput = float64(tr.Txns) / elapsed.Seconds()
+		for _, acct := range accts {
+			u := acct.Tenant(t).Snapshot()
+			tr.Rejections += u.Rejected
+			tr.Bytes += u.ReadBytes + u.WriteBytes
+		}
 		tr.P50, tr.P95 = percentiles(pooled[t])
 		if t != aggressorTenant {
 			victimLat = append(victimLat, pooled[t]...)
@@ -296,6 +441,240 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, name string, withAggres
 	}
 	phase.VictimP50, phase.VictimP95 = percentiles(victimLat)
 	return phase, nil
+}
+
+func runNoisyPhase(ctx context.Context, cfg NoisyConfig, spec noisySpec) (NoisyPhase, error) {
+	c, err := newNoisyCluster()
+	if err != nil {
+		return NoisyPhase{}, err
+	}
+	acct := recordlayer.NewAccountant()
+	opts := recordlayer.RunnerOptions{Accountant: acct}
+	var gov *recordlayer.Governor
+	switch {
+	case spec.txnQuota:
+		gov = recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{})
+		gov.SetLimits(aggressorTenant, recordlayer.TenantLimits{
+			TxnPerSecond:  cfg.AggressorRate,
+			Burst:         cfg.AggressorBurst,
+			MaxConcurrent: 1,
+		})
+	case spec.byteQuota:
+		gov = recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{})
+		gov.SetLimits(aggressorTenant, recordlayer.TenantLimits{
+			BytesPerSecond: cfg.AggressorByteRate,
+			ByteBurst:      cfg.AggressorByteBurst,
+			MaxConcurrent:  byteQuotaConcurrency,
+		})
+	case spec.bgIndex:
+		// Tight capacity so the background build actually contends with the
+		// foreground victims instead of running beside them.
+		gov = recordlayer.NewGovernor(acct, recordlayer.GovernorOptions{
+			TotalConcurrent: cfg.Victims + 1,
+		})
+	}
+	opts.Governor = gov
+	runner := recordlayer.NewRunner(c.db, opts)
+
+	tenants := make([]string, 0, cfg.Victims+1)
+	for i := 0; i < cfg.Victims; i++ {
+		tenants = append(tenants, fmt.Sprintf("victim-%d", i))
+	}
+	if spec.withAggressor {
+		tenants = append(tenants, aggressorTenant)
+	}
+	if spec.bgIndex {
+		tenants = append(tenants, bulkTenant)
+	}
+	if err := precreate(ctx, c, runner, tenants); err != nil {
+		return NoisyPhase{}, err
+	}
+
+	// The background-index phase walks a pre-populated bulk store.
+	var indexer *core.OnlineIndexer
+	if spec.bgIndex {
+		if err := populateBulk(ctx, c, runner, cfg); err != nil {
+			return NoisyPhase{}, err
+		}
+		v2, err := noisySchemaV2(c.note)
+		if err != nil {
+			return NoisyPhase{}, err
+		}
+		space, err := c.ks.MustPath("app").MustAdd("tenant", bulkTenant).ToSubspaceStatic()
+		if err != nil {
+			return NoisyPhase{}, err
+		}
+		indexer = &core.OnlineIndexer{
+			DB:        c.db,
+			MetaData:  v2,
+			Space:     space,
+			IndexName: "by_body",
+			BatchSize: 32,
+			Config:    core.Config{InlineBuildLimit: 8}, // force the online path
+			Pace:      recordlayer.PaceFromGovernor(gov, bulkTenant),
+		}
+	}
+
+	var workers []*worker
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Phase)
+	spawn := func(tenant string, workerIdx, recsPerTxn, recSize int, record bool) {
+		w := &worker{tenant: tenant, runner: runner}
+		workers = append(workers, w)
+		wg.Add(1)
+		go w.run(ctx, c, deadline, cfg.Seed+int64(workerIdx)*7919, recsPerTxn, recSize, record, &wg)
+	}
+	idx := 0
+	for i := 0; i < cfg.Victims; i++ {
+		// Victims: one worker each, small steady writes (3 × ~200 B).
+		spawn(fmt.Sprintf("victim-%d", i), idx, victimRecsPerTxn, victimRecSize, true)
+		idx++
+	}
+	if spec.withAggressor {
+		for i := 0; i < cfg.AggressorWorkers; i++ {
+			// Aggressor: many workers, heavy writes (12 × ~4 kB).
+			spawn(aggressorTenant, idx, aggressorRecsPerTxn, aggressorRecSize, false)
+			idx++
+		}
+	}
+
+	indexed := 0
+	var buildErr error
+	indexDone := make(chan struct{})
+	if indexer != nil {
+		bctx, cancel := context.WithDeadline(ctx, deadline)
+		defer cancel()
+		go func() {
+			defer close(indexDone)
+			n, err := indexer.Build(bctx)
+			indexed = n
+			// Deadline expiry is the expected way a phase-bounded build
+			// stops; progress is durable either way.
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				buildErr = err
+			}
+		}()
+	} else {
+		close(indexDone)
+	}
+	wg.Wait()
+	<-indexDone
+	elapsed := time.Since(start)
+	if buildErr != nil {
+		return NoisyPhase{}, fmt.Errorf("workload: background index build: %w", buildErr)
+	}
+
+	phase, err := mergePhase(spec.name, cfg, workers, elapsed, acct)
+	phase.Indexed = indexed
+	return phase, err
+}
+
+// populateBulk seeds the bulk tenant's store the background build will walk.
+func populateBulk(ctx context.Context, c *noisyCluster, runner *recordlayer.Runner, cfg NoisyConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	tctx := recordlayer.WithTenant(ctx, bulkTenant)
+	const perTxn = 100
+	for base := 0; base < cfg.IndexRecords; base += perTxn {
+		n := perTxn
+		if base+n > cfg.IndexRecords {
+			n = cfg.IndexRecords - base
+		}
+		recs := make([]*message.Message, n)
+		for j := range recs {
+			recs[j] = message.New(c.note).
+				MustSet("id", int64(base+j)).
+				MustSet("body", NoteBody(rng, 120))
+		}
+		if _, err := runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := c.provider.Open(ctx, tr, bulkTenant)
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range recs {
+				if _, err := store.SaveRecord(rec); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}); err != nil {
+			return fmt.Errorf("workload: populate bulk store: %w", err)
+		}
+	}
+	return nil
+}
+
+// runPersistedPhase is the stateless-server flow: the aggressor's quota is
+// written once to a LimitsStore, and two independent Governors — two
+// simulated servers splitting the workload — load it with no in-process
+// SetLimits call. It reports whether both governors saw identical limits.
+func runPersistedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, bool, error) {
+	c, err := newNoisyCluster()
+	if err != nil {
+		return NoisyPhase{}, false, err
+	}
+	limits := recordlayer.NewLimitsStore(c.db)
+	want := recordlayer.TenantLimits{
+		TxnPerSecond:  cfg.AggressorRate / 2, // split across 2 servers: same total cap
+		Burst:         (cfg.AggressorBurst + 1) / 2,
+		MaxConcurrent: 1,
+	}
+	if err := limits.Set(aggressorTenant, want); err != nil {
+		return NoisyPhase{}, false, err
+	}
+
+	acctA, acctB := recordlayer.NewAccountant(), recordlayer.NewAccountant()
+	govA := recordlayer.NewGovernor(acctA, recordlayer.GovernorOptions{})
+	govB := recordlayer.NewGovernor(acctB, recordlayer.GovernorOptions{})
+	if _, err := govA.LoadLimits(limits); err != nil {
+		return NoisyPhase{}, false, err
+	}
+	if _, err := govB.LoadLimits(limits); err != nil {
+		return NoisyPhase{}, false, err
+	}
+	consistent := govA.LimitsFor(aggressorTenant) == govB.LimitsFor(aggressorTenant) &&
+		govA.LimitsFor(aggressorTenant) == want
+
+	runnerA := recordlayer.NewRunner(c.db, recordlayer.RunnerOptions{Accountant: acctA, Governor: govA})
+	runnerB := recordlayer.NewRunner(c.db, recordlayer.RunnerOptions{Accountant: acctB, Governor: govB})
+
+	tenants := make([]string, 0, cfg.Victims+1)
+	for i := 0; i < cfg.Victims; i++ {
+		tenants = append(tenants, fmt.Sprintf("victim-%d", i))
+	}
+	tenants = append(tenants, aggressorTenant)
+	if err := precreate(ctx, c, runnerA, tenants); err != nil {
+		return NoisyPhase{}, false, err
+	}
+
+	var workers []*worker
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Phase)
+	spawn := func(tenant string, runner *recordlayer.Runner, workerIdx, recsPerTxn, recSize int, record bool) {
+		w := &worker{tenant: tenant, runner: runner}
+		workers = append(workers, w)
+		wg.Add(1)
+		go w.run(ctx, c, deadline, cfg.Seed+int64(workerIdx)*7919, recsPerTxn, recSize, record, &wg)
+	}
+	idx := 0
+	for i := 0; i < cfg.Victims; i++ {
+		spawn(fmt.Sprintf("victim-%d", i), runnerA, idx, victimRecsPerTxn, victimRecSize, true)
+		idx++
+	}
+	for i := 0; i < cfg.AggressorWorkers; i++ {
+		r := runnerA
+		if i%2 == 1 {
+			r = runnerB // the aggressor hits both "servers"
+		}
+		spawn(aggressorTenant, r, idx, aggressorRecsPerTxn, aggressorRecSize, false)
+		idx++
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	phase, err := mergePhase("persisted", cfg, workers, elapsed, acctA, acctB)
+	return phase, consistent, err
 }
 
 // percentiles returns the p50 and p95 of a latency sample (0,0 when empty).

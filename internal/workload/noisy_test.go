@@ -70,6 +70,27 @@ func TestNoisyNeighbor(t *testing.T) {
 	if un.Txns <= ag.Txns {
 		t.Errorf("governance did not reduce aggressor throughput: %d -> %d", un.Txns, ag.Txns)
 	}
+
+	// Governance v2 invariants: byte quota capped the byte-hog near its
+	// budget, the persisted-limits phase fed two governors identically from
+	// one LimitsStore, the background index build made progress, and every
+	// deterministic invariant of the CI smoke gate holds.
+	if !stats.ByteCapped {
+		t.Errorf("byte-hog aggressor charged %d bytes, budget %d",
+			aggressorOf(stats.ByteHog).Bytes, stats.ByteBudget)
+	}
+	if bh := find(stats.ByteHog, aggressorTenant); bh == nil || bh.Rejections == 0 {
+		t.Error("byte-hog aggressor was never rejected — byte quota not exercised")
+	}
+	if !stats.SharedLimitsConsistent {
+		t.Error("two governors sharing one LimitsStore disagreed on limits")
+	}
+	if stats.BgIndex.Indexed == 0 {
+		t.Error("background index build made no progress")
+	}
+	if err := stats.Check(); err != nil {
+		t.Errorf("smoke-gate invariants: %v", err)
+	}
 }
 
 // TestMeasureGovernanceOverhead sanity-checks the overhead probe runs and

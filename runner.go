@@ -150,6 +150,11 @@ func (r *Runner) ReadRun(ctx context.Context, fn TransactFunc) (interface{}, err
 }
 
 func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interface{}, error) {
+	// The latency clock starts before admission: Usage.TxnTime documents
+	// end-to-end latency including retries and backoff, and the queue wait a
+	// throttled tenant experiences is exactly the signal the governor's
+	// accounting must not hide.
+	start := time.Now()
 	var meter *resource.Meter
 	if tenant, ok := resource.TenantFrom(ctx); ok {
 		if r.opts.Accountant != nil {
@@ -158,7 +163,8 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 		}
 		if r.opts.Governor != nil {
 			// One admission covers the whole retry loop: a retried attempt
-			// is the same unit of tenant work, not a new request.
+			// is the same unit of tenant work, not a new request. The
+			// admission's priority class rides the context (WithPriority).
 			release, err := r.opts.Governor.Admit(ctx, tenant)
 			if err != nil {
 				r.failures.Add(1)
@@ -167,7 +173,6 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 			defer release()
 		}
 	}
-	start := time.Now()
 	backoff := r.opts.InitialBackoff
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {

@@ -171,12 +171,26 @@ func (s *Store) ExecuteQuery(ctx context.Context, q Query, props ExecuteProperti
 
 // ExecutePlan executes a previously planned query under props. Plans are
 // immutable and reusable across stores and transactions.
+//
+// Skip counts records of the whole query, not of each page: skip progress is
+// encoded in the continuation, so resuming with the same props (the
+// WithContinuation idiom) discards exactly props.Skip records once across
+// all pages rather than re-skipping on every transaction.
 func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProperties) (*RecordCursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cont := props.Continuation
+	skip := props.Skip
+	if props.Skip > 0 && len(cont) > 0 {
+		var err error
+		skip, cont, err = decodeSkipContinuation(cont)
+		if err != nil {
+			return nil, err
+		}
+	}
 	c, err := pl.Execute(s.Store, plan.ExecuteOptions{
-		Continuation: props.Continuation,
+		Continuation: cont,
 		Limiter:      props.limiter(ctx),
 		Snapshot:     props.Snapshot,
 	})
@@ -184,7 +198,7 @@ func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProp
 		return nil, err
 	}
 	if props.Skip > 0 {
-		c = cursor.Skip(c, props.Skip)
+		c = &skipCursor{inner: c, remaining: skip}
 	}
 	if props.RowLimit > 0 {
 		c = cursor.Limit(c, props.RowLimit)
