@@ -69,6 +69,47 @@
 //		props = props.WithContinuation(cur.Continuation())
 //	}
 //
+// # The query hot path: covering indexes and pipelined fetches
+//
+// An index scan normally resolves each entry to its record with a point
+// range-read — the N+1 the paper's engine avoids two ways, both implemented
+// here.
+//
+// Covering index plans (§6, Appendix A): declare the fields you will read
+// with Query.Select, and when every one of them — plus any residual filter
+// fields — is reconstructible from the index entry (its key columns, the
+// KeyWithValue covering values, and the appended primary key), the planner
+// synthesizes partial records straight from the entries. Zero record-subspace
+// reads; on a 50-entry scan that is 51 range reads down to 1. The plan string
+// makes the choice visible:
+//
+//	q := recordlayer.Query{
+//		RecordTypes: []string{"U"},
+//		Filter:      query.Field("name").BeginsWith("user-0002"),
+//	}.Select("name", "id")
+//	pl, _ := store.Plan(q)
+//	fmt.Println(pl) // Covering(Index(by_name ["user-0002" - "user-0003")))
+//
+// without the projection the same query plans as Index(by_name ...), and a
+// residual filter renders as Filter(age > 30 | Covering(Index(...))).
+// Synthesized records carry the projected, residual, and primary-key fields
+// only — no record version, zero Size — which is the contract Select opts
+// into. Covering is refused (falling back to fetching) for fan-out indexes
+// (duplicate entries per record), fields no entry column provides, nested or
+// one-of-them fields, and queries not pinned to a single record type. Ties
+// between equally-selective indexes prefer the covering-capable one, and a
+// projected query with no usable filter still plans an index-only scan
+// instead of a full record scan.
+//
+// Pipelined fetches (§8): plans that do fetch records keep up to
+// ExecuteProperties.PipelineDepth record reads in flight behind the index
+// scan (default 8; 1 restores strictly sequential fetching). Results are
+// byte-identical to sequential execution — order, halt reasons, and
+// continuations included — only the fetch latency overlaps. Scan limits
+// charge per record scanned, and a limit smaller than a single record's
+// key-value footprint still admits one record per execution, so paging
+// always makes progress (§8.2's "first record is always admitted").
+//
 // # Resource governance
 //
 // Bind a tenant identity to the request context and give the Runner a

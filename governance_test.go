@@ -3,11 +3,14 @@ package recordlayer
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"recordlayer/internal/fdb"
+	"recordlayer/internal/keyexpr"
 	"recordlayer/internal/message"
+	"recordlayer/internal/metadata"
 	"recordlayer/internal/tuple"
 )
 
@@ -203,5 +206,98 @@ func TestRunnerRecordsConflicts(t *testing.T) {
 	}
 	if u.Transactions != 1 {
 		t.Errorf("Transactions = %d, want 1", u.Transactions)
+	}
+}
+
+// TestRankTextIndexWritesMetered closes the last unmetered write path
+// (ROADMAP): rank skip-list and text bunched-map maintenance must debit the
+// tenant's accounting like value/atomic/version indexes do, and through the
+// accounting, the governor's byte bucket.
+func TestRankTextIndexWritesMetered(t *testing.T) {
+	mkMD := func(extra ...*metadata.Index) *metadata.MetaData {
+		doc := message.MustDescriptor("Doc",
+			message.Field("id", 1, message.TypeInt64),
+			message.Field("tag", 2, message.TypeString),
+		)
+		b := metadata.NewBuilder(1).AddRecordType(doc, keyexpr.Field("id"))
+		for _, ix := range extra {
+			b = b.AddIndex(ix, "Doc")
+		}
+		return b.MustBuild()
+	}
+	rankIx := func() *metadata.Index {
+		return &metadata.Index{Name: "by_tag_rank", Type: metadata.IndexRank,
+			Expression: keyexpr.Field("tag")}
+	}
+	textIx := func() *metadata.Index {
+		return &metadata.Index{Name: "tag_text", Type: metadata.IndexText,
+			Expression: keyexpr.Field("tag")}
+	}
+
+	// workload: n saves, one transaction each (so byte-bucket debt can reject
+	// at the next admission).
+	workload := func(r *Runner, p *StoreProvider, md *metadata.MetaData, ctx context.Context, n int) error {
+		doc, _ := md.RecordType("Doc")
+		for i := 0; i < n; i++ {
+			rec := message.New(doc.Descriptor).
+				MustSet("id", int64(i)).
+				MustSet("tag", fmt.Sprintf("tag-%03d words here", i))
+			if _, err := r.Run(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+				store, err := p.Open(ctx, tr, int64(1))
+				if err != nil {
+					return nil, err
+				}
+				_, err = store.SaveRecord(rec)
+				return nil, err
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	measure := func(md *metadata.MetaData) TenantUsage {
+		t.Helper()
+		db := fdb.Open(nil)
+		acct := NewAccountant()
+		r := NewRunner(db, RunnerOptions{Accountant: acct})
+		p := testProvider(t, md)
+		ctx := WithTenant(context.Background(), "bytes")
+		if err := workload(r, p, md, ctx, 8); err != nil {
+			t.Fatal(err)
+		}
+		return acct.Tenant("bytes").Snapshot()
+	}
+
+	plain := measure(mkMD())
+	rank := measure(mkMD(rankIx()))
+	text := measure(mkMD(textIx()))
+	if rank.WriteBytes <= plain.WriteBytes || rank.WriteRecords <= plain.WriteRecords {
+		t.Errorf("rank maintenance unmetered: rank %d bytes / %d rows vs plain %d / %d",
+			rank.WriteBytes, rank.WriteRecords, plain.WriteBytes, plain.WriteRecords)
+	}
+	if text.WriteBytes <= plain.WriteBytes || text.WriteRecords <= plain.WriteRecords {
+		t.Errorf("text maintenance unmetered: text %d bytes / %d rows vs plain %d / %d",
+			text.WriteBytes, text.WriteRecords, plain.WriteBytes, plain.WriteRecords)
+	}
+
+	// The byte bucket sees those writes: a burst sized between the plain and
+	// rank-indexed footprints admits the former and rejects the latter.
+	burst := (plain.WriteBytes + rank.WriteBytes) / 2
+	runUnder := func(md *metadata.MetaData) error {
+		db := fdb.Open(nil)
+		gov := NewGovernor(nil, GovernorOptions{})
+		gov.SetLimits("bytes", TenantLimits{BytesPerSecond: 1, ByteBurst: burst})
+		r := NewRunner(db, RunnerOptions{Governor: gov})
+		p := testProvider(t, md)
+		return workload(r, p, md, WithTenant(context.Background(), "bytes"), 8)
+	}
+	if err := runUnder(mkMD()); err != nil {
+		t.Errorf("plain workload under byte bucket: %v", err)
+	}
+	err := runUnder(mkMD(rankIx()))
+	var qe *QuotaExceededError
+	if !errors.As(err, &qe) || qe.Resource != "byte-rate" {
+		t.Errorf("rank-indexed workload must trip the byte bucket, got %v", err)
 	}
 }

@@ -1,0 +1,276 @@
+package recordlayer
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/query"
+	"recordlayer/internal/tuple"
+)
+
+// TestCoveringQueryZeroRecordSubspaceReads is the acceptance gate for the
+// covering read path: a query whose filter and projection are answerable from
+// the by_tag index executes with zero record-subspace reads. Measured via the
+// simulator's database-level key-read counter: the covering execution reads
+// exactly the matching index pairs, while the fetching execution adds two
+// record pairs (version slot + data) per result.
+func TestCoveringQueryZeroRecordSubspaceReads(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	const n = 100
+	saveDocs(t, r, p, 1, n) // tags alternate even/odd: 50 each
+
+	base := Query{RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals("even")}
+	covering := base.Select("tag", "id")
+
+	measure := func(q Query) (reads int64, recs []*Record) {
+		t.Helper()
+		_, err := r.ReadRun(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := p.Open(ctx, tr, int64(1))
+			if err != nil {
+				return nil, err
+			}
+			cur, err := store.ExecuteQuery(ctx, q, ExecuteProperties{})
+			if err != nil {
+				return nil, err
+			}
+			before := db.Metrics().KeysRead.Load()
+			recs, err = cur.ToList()
+			if err != nil {
+				return nil, err
+			}
+			reads = db.Metrics().KeysRead.Load() - before
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reads, recs
+	}
+
+	_, err := r.ReadRun(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := p.Open(ctx, tr, int64(1))
+		if err != nil {
+			return nil, err
+		}
+		pl, err := store.Plan(covering)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(pl.String(), "Covering(Index(by_tag") {
+			t.Fatalf("plan = %s, want Covering(Index(by_tag ...))", pl)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	covReads, covRecs := measure(covering)
+	fetchReads, fetchRecs := measure(base)
+	if len(covRecs) != n/2 || len(fetchRecs) != n/2 {
+		t.Fatalf("results: covering %d, fetching %d, want %d", len(covRecs), len(fetchRecs), n/2)
+	}
+	// Covering: exactly one key read per matching index entry; zero record
+	// pairs. Fetching: the same entries plus 2 pairs per record.
+	if covReads != int64(n/2) {
+		t.Errorf("covering execution read %d keys, want exactly %d index entries", covReads, n/2)
+	}
+	if want := int64(n/2 + 2*(n/2)); fetchReads != want {
+		t.Errorf("fetching execution read %d keys, want %d", fetchReads, want)
+	}
+	for i, cr := range covRecs {
+		fr := fetchRecs[i]
+		cid, _ := cr.Message.Get("id")
+		fid, _ := fr.Message.Get("id")
+		ctag, _ := cr.Message.Get("tag")
+		ftag, _ := fr.Message.Get("tag")
+		if cid != fid || ctag != ftag || tuple.Compare(cr.PrimaryKey, fr.PrimaryKey) != 0 {
+			t.Fatalf("record %d differs: covering (%v,%v,%v) fetching (%v,%v,%v)",
+				i, cid, ctag, cr.PrimaryKey, fid, ftag, fr.PrimaryKey)
+		}
+	}
+}
+
+// TestProjectionDistinctInPlanCache: queries differing only in projection
+// must fingerprint differently, or the cache would serve a covering plan to a
+// caller that needs whole records.
+func TestProjectionDistinctInPlanCache(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 1, 4)
+
+	base := Query{RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals("even")}
+	for _, q := range []Query{base, base.Select("tag", "id"), base} {
+		q := q
+		_, err := r.ReadRun(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := p.Open(ctx, tr, int64(1))
+			if err != nil {
+				return nil, err
+			}
+			cur, err := store.ExecuteQuery(ctx, q, ExecuteProperties{})
+			if err != nil {
+				return nil, err
+			}
+			_, err = cur.ToList()
+			return nil, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.PlanCacheStats(); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 2 misses (distinct fingerprints) and 1 hit", st)
+	}
+}
+
+// pageResult captures one transaction's page for equivalence comparison.
+type pageResult struct {
+	ids    []int64
+	reason string
+	cont   []byte
+}
+
+// runPages executes q to exhaustion, one transaction per page.
+func runPages(t *testing.T, r *Runner, p *StoreProvider, q Query, props ExecuteProperties, maxPages int) []pageResult {
+	t.Helper()
+	var pages []pageResult
+	for len(pages) < maxPages {
+		var page pageResult
+		_, err := r.ReadRun(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, err := p.Open(ctx, tr, int64(1))
+			if err != nil {
+				return nil, err
+			}
+			cur, err := store.ExecuteQuery(ctx, q, props)
+			if err != nil {
+				return nil, err
+			}
+			page = pageResult{}
+			err = cur.ForEach(func(rec *Record) error {
+				id, _ := rec.Message.Get("id")
+				page.ids = append(page.ids, id.(int64))
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			page.reason = cur.NoNextReason().String()
+			page.cont = cur.Continuation()
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, page)
+		if page.cont == nil {
+			return pages
+		}
+		props = props.WithContinuation(page.cont)
+	}
+	t.Fatalf("paging did not terminate within %d pages", maxPages)
+	return nil
+}
+
+// TestPipelineDepthEquivalence is the acceptance gate for pipelined fetches:
+// depth 8 must return byte-identical results — ids, order, halt reasons, and
+// continuation bytes per page — to depth 1, under scan limits and row limits
+// across multi-transaction paging.
+func TestPipelineDepthEquivalence(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 1, 60)
+
+	q := Query{RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals("even")}
+	for _, props := range []ExecuteProperties{
+		{ScanRecordLimit: 7},
+		{RowLimit: 5},
+		{ScanRecordLimit: 7, RowLimit: 4, Snapshot: true},
+	} {
+		seq := props
+		seq.PipelineDepth = 1
+		pip := props
+		pip.PipelineDepth = 8
+		want := runPages(t, r, p, q, seq, 40)
+		got := runPages(t, r, p, q, pip, 40)
+		if len(got) != len(want) {
+			t.Fatalf("props %+v: %d pages at depth 8, %d at depth 1", props, len(got), len(want))
+		}
+		for i := range want {
+			if fmt.Sprint(got[i].ids) != fmt.Sprint(want[i].ids) ||
+				got[i].reason != want[i].reason ||
+				string(got[i].cont) != string(want[i].cont) {
+				t.Fatalf("props %+v page %d: depth8 %+v, depth1 %+v", props, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPipelineDepthEquivalenceOnFetchError: a dangling index entry (record
+// data cleared underneath it) makes the fetch fail; both depths must deliver
+// the same prefix and then the same error.
+func TestPipelineDepthEquivalenceOnFetchError(t *testing.T) {
+	_, md := testSchema(t)
+	db := fdb.Open(nil)
+	r := NewRunner(db, RunnerOptions{})
+	p := testProvider(t, md)
+	saveDocs(t, r, p, 1, 12)
+
+	// Clear record id=6's pairs directly, leaving its by_tag entry dangling.
+	_, err := r.Run(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+		store, err := p.Open(ctx, tr, int64(1))
+		if err != nil {
+			return nil, err
+		}
+		b, e := store.Subspace().RangeForTuple(tuple.Tuple{int64(1), int64(6)}) // (recordsSub, pk)
+		return nil, tr.ClearRange(b, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := Query{RecordTypes: []string{"Doc"}, Filter: query.Field("tag").Equals("even")}
+	run := func(depth int) (ids []int64, err error) {
+		_, rerr := r.ReadRun(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
+			store, oerr := p.Open(ctx, tr, int64(1))
+			if oerr != nil {
+				return nil, oerr
+			}
+			cur, oerr := store.ExecuteQuery(ctx, q, ExecuteProperties{PipelineDepth: depth})
+			if oerr != nil {
+				return nil, oerr
+			}
+			ids = nil
+			err = cur.ForEach(func(rec *Record) error {
+				id, _ := rec.Message.Get("id")
+				ids = append(ids, id.(int64))
+				return nil
+			})
+			return nil, nil
+		})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		return ids, err
+	}
+	ids1, err1 := run(1)
+	ids8, err8 := run(8)
+	if err1 == nil || err8 == nil {
+		t.Fatalf("dangling entry did not error: depth1 %v, depth8 %v", err1, err8)
+	}
+	if err1.Error() != err8.Error() {
+		t.Fatalf("errors differ: depth1 %q, depth8 %q", err1, err8)
+	}
+	if fmt.Sprint(ids1) != fmt.Sprint(ids8) || fmt.Sprint(ids1) != fmt.Sprint([]int64{0, 2, 4}) {
+		t.Fatalf("prefixes differ: depth1 %v, depth8 %v, want [0 2 4]", ids1, ids8)
+	}
+}

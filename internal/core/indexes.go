@@ -60,7 +60,16 @@ func (s *Store) FetchIndexed(entries cursor.Cursor[index.Entry]) cursor.Cursor[*
 // record reads, so a snapshot query execution adds no read conflict ranges
 // for the fetches either.
 func (s *Store) FetchIndexedSnapshot(entries cursor.Cursor[index.Entry], snapshot bool) cursor.Cursor[*StoredRecord] {
-	return cursor.Map(entries, func(e index.Entry) (*StoredRecord, error) {
+	return s.FetchIndexedPipelined(entries, snapshot, 1)
+}
+
+// FetchIndexedPipelined is FetchIndexedSnapshot with up to depth record
+// fetches in flight at once — the paper's asynchronous pipelining (§8): the
+// index scan keeps streaming while earlier entries' record reads are still
+// outstanding. Results preserve entry order, halts, and continuations
+// exactly; depth <= 1 is the sequential path.
+func (s *Store) FetchIndexedPipelined(entries cursor.Cursor[index.Entry], snapshot bool, depth int) cursor.Cursor[*StoredRecord] {
+	return cursor.MapPipelined(entries, depth, func(e index.Entry) (*StoredRecord, error) {
 		rec, err := s.loadRecordByKey(e.PrimaryKey, snapshot)
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/fdb"
@@ -242,15 +243,34 @@ func (s *Store) loadRecordByKey(pk tuple.Tuple, snapshot bool) (*StoredRecord, e
 	return s.assembleRecord(pk, kvs)
 }
 
+// recordChunk is one pair of a (possibly split) record during reassembly.
+type recordChunk struct {
+	suffix int64
+	value  []byte
+}
+
+// chunkPool recycles the scratch slices assembleRecord collects chunks into;
+// the reassembly path runs once per fetched record on every scan and fetch.
+var chunkPool = sync.Pool{New: func() interface{} {
+	s := make([]recordChunk, 0, 8)
+	return &s
+}}
+
 // assembleRecord splices a record's pairs back together (§4). Chunks are
-// ordered by suffix so reverse scans assemble correctly.
+// ordered by suffix so reverse scans assemble correctly. Safe for concurrent
+// use by pipelined fetches.
 func (s *Store) assembleRecord(pk tuple.Tuple, kvs []fdb.KeyValue) (*StoredRecord, error) {
 	rec := &StoredRecord{PrimaryKey: pk}
-	type chunk struct {
-		suffix int64
-		value  []byte
-	}
-	var parts []chunk
+	partsPtr := chunkPool.Get().(*[]recordChunk)
+	parts := (*partsPtr)[:0]
+	defer func() {
+		for i := range parts {
+			parts[i] = recordChunk{} // drop value references before pooling
+		}
+		*partsPtr = parts[:0]
+		chunkPool.Put(partsPtr)
+	}()
+	sorted := true
 	for _, kv := range kvs {
 		t, err := s.space.Unpack(kv.Key)
 		if err != nil {
@@ -268,22 +288,36 @@ func (s *Store) assembleRecord(pk tuple.Tuple, kvs []fdb.KeyValue) (*StoredRecor
 			rec.Version, rec.HasVersion = v, true
 			continue
 		}
-		parts = append(parts, chunk{suffix: suffix, value: kv.Value})
+		if n := len(parts); n > 0 && parts[n-1].suffix > suffix {
+			sorted = false
+		}
+		parts = append(parts, recordChunk{suffix: suffix, value: kv.Value})
 	}
-	sort.Slice(parts, func(i, j int) bool { return parts[i].suffix < parts[j].suffix })
-	var blob []byte
-	chunks := 0
-	for _, p := range parts {
-		blob = append(blob, p.value...)
-		chunks++
+	if !sorted { // only reverse scans pay the sort
+		sort.Slice(parts, func(i, j int) bool { return parts[i].suffix < parts[j].suffix })
 	}
-	if chunks == 0 {
+	if len(parts) == 0 {
 		// Only a version slot survives — treat as missing (can happen if a
 		// caller cleared data keys directly).
 		return nil, nil
 	}
+	var blob []byte
+	if len(parts) == 1 {
+		// Unsplit records reuse the fetched value; GetRange returns fresh
+		// slices, so nothing else aliases it.
+		blob = parts[0].value
+	} else {
+		total := 0
+		for _, p := range parts {
+			total += len(p.value)
+		}
+		blob = make([]byte, 0, total)
+		for _, p := range parts {
+			blob = append(blob, p.value...)
+		}
+	}
 	rec.Size = len(blob)
-	rec.SplitChunks = chunks
+	rec.SplitChunks = len(parts)
 	envelope, err := s.cfg.Serializer.Decode(blob)
 	if err != nil {
 		return nil, err
@@ -388,13 +422,17 @@ func (s *Store) ScanRecords(opts ScanOptions) cursor.Cursor[*StoredRecord] {
 			end = append(recSpace.Bytes(), opts.Continuation...)
 		}
 	}
+	// The limiter is charged per assembled record (below), not per raw pair:
+	// §8.2's scanned-records limit counts records, and the "first record is
+	// always admitted" progress guarantee must hold even when a single record
+	// spans more pairs than the limit — a pair-granular limiter would halt
+	// mid-record with no progress.
 	kvs := kvcursor.New(s.tr, begin, end, kvcursor.Options{
 		Reverse:  opts.Reverse,
-		Limiter:  opts.Limiter,
 		Snapshot: opts.Snapshot,
 		Meter:    s.meter,
 	})
-	return &recordCursor{store: s, kvs: kvs, reverse: opts.Reverse}
+	return &recordCursor{store: s, kvs: kvs, reverse: opts.Reverse, limiter: opts.Limiter}
 }
 
 // recordCursor groups raw pairs into whole records (handling splits).
@@ -402,7 +440,7 @@ type recordCursor struct {
 	store   *Store
 	kvs     cursor.Cursor[fdb.KeyValue]
 	reverse bool
-	pending *fdb.KeyValue
+	limiter *cursor.Limiter
 	halted  *cursor.Result[*StoredRecord]
 	lastPK  []byte
 }
@@ -413,6 +451,35 @@ func errCursor[T any](err error) cursor.Cursor[T] {
 	})
 }
 
+// flush assembles a completed group into a record, charging the limiter one
+// record (the group's key-value footprint). A rejected record halts the
+// cursor with the continuation of the previous record, so the rejected one is
+// re-read on resume rather than lost; the Limiter's first-record admission
+// guarantees every execution delivers at least one record.
+func (c *recordCursor) flush(pk tuple.Tuple, packed []byte, group []fdb.KeyValue) (cursor.Result[*StoredRecord], error) {
+	rec, err := c.store.assembleRecord(pk, group)
+	if err != nil {
+		return cursor.Result[*StoredRecord]{}, err
+	}
+	if rec != nil {
+		nbytes := 0
+		for _, kv := range group {
+			nbytes += len(kv.Key) + len(kv.Value)
+		}
+		if reason, ok := c.limiter.TryRecord(nbytes); !ok {
+			h := cursor.Result[*StoredRecord]{OK: false, Reason: reason, Continuation: c.lastPK}
+			c.halted = &h
+			return h, nil
+		}
+	}
+	c.lastPK = packed
+	if rec == nil {
+		// Version-slot-only remnant: not a record; skip by recursing.
+		return c.Next()
+	}
+	return cursor.Result[*StoredRecord]{Value: rec, OK: true, Continuation: packed}, nil
+}
+
 // Next implements cursor.Cursor.
 func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
 	if c.halted != nil {
@@ -421,18 +488,6 @@ func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
 	var group []fdb.KeyValue
 	var groupPK tuple.Tuple
 	var groupPKPacked []byte
-	flush := func() (cursor.Result[*StoredRecord], error) {
-		rec, err := c.store.assembleRecord(groupPK, group)
-		if err != nil {
-			return cursor.Result[*StoredRecord]{}, err
-		}
-		c.lastPK = groupPKPacked
-		if rec == nil {
-			// Version-slot-only remnant: skip by recursing.
-			return c.Next()
-		}
-		return cursor.Result[*StoredRecord]{Value: rec, OK: true, Continuation: groupPKPacked}, nil
-	}
 	for {
 		r, err := c.kvs.Next()
 		if err != nil {
@@ -440,12 +495,14 @@ func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
 		}
 		if !r.OK {
 			if len(group) > 0 && r.Reason == cursor.SourceExhausted {
-				res, err := flush()
+				res, err := c.flush(groupPK, groupPKPacked, group)
 				if err != nil {
 					return res, err
 				}
-				h := cursor.Result[*StoredRecord]{OK: false, Reason: cursor.SourceExhausted}
-				c.halted = &h
+				if res.OK {
+					h := cursor.Result[*StoredRecord]{OK: false, Reason: cursor.SourceExhausted}
+					c.halted = &h
+				}
 				return res, nil
 			}
 			// Out-of-band halt: drop the partial group; the continuation
@@ -470,17 +527,11 @@ func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
 			group = append(group, r.Value)
 			continue
 		}
-		// A new primary key begins: emit the completed group and keep the
-		// new pair pending.
-		res, err := flush()
-		if err != nil {
-			return res, err
-		}
-		c.pending = &r.Value
-		// Re-seed the group from the pending pair on the next call.
-		c.kvs = prepend(c.kvs, *c.pending)
-		c.pending = nil
-		return res, nil
+		// A new primary key begins: push its first pair back so the next
+		// call (or a remnant-skipping recursion) re-reads it, then emit the
+		// completed group.
+		c.kvs = prepend(c.kvs, r.Value)
+		return c.flush(groupPK, groupPKPacked, group)
 	}
 }
 

@@ -1,0 +1,82 @@
+package cursor
+
+// MapPipelined is Map with up to depth applications of f in flight at once:
+// the paper's asynchronous pipelining (§8), where the record fetches behind
+// an index scan overlap instead of serializing one round trip per entry.
+//
+// Semantics are identical to Map(inner, f) — results are delivered in source
+// order with their source continuations, a source halt (including out-of-band
+// limits) is delivered after every preceding value, and an error from f or
+// from the source surfaces at exactly the position it would have under
+// sequential execution. The only observable difference is eagerness: the
+// source is pulled up to depth elements ahead of consumption, so resource
+// limits charged at the source (scan limits, metering) account for the
+// prefetched window even if the consumer stops early.
+//
+// f is invoked from worker goroutines and must be safe for concurrent use.
+// depth <= 1 degrades to plain sequential Map.
+func MapPipelined[T, U any](inner Cursor[T], depth int, f func(T) (U, error)) Cursor[U] {
+	if depth <= 1 {
+		return Map(inner, f)
+	}
+	return &pipelinedCursor[T, U]{inner: inner, depth: depth, f: f}
+}
+
+// pipeSlot is one in-flight application of f. The worker writes v/err and
+// closes done; the consumer reads them only after <-done.
+type pipeSlot[U any] struct {
+	done chan struct{}
+	v    U
+	err  error
+	cont []byte
+}
+
+type pipelinedCursor[T, U any] struct {
+	inner   Cursor[T]
+	depth   int
+	f       func(T) (U, error)
+	queue   []*pipeSlot[U] // FIFO of in-flight slots, source order
+	srcHalt *Result[U]     // halt from the source, delivered after the queue drains
+	srcErr  error          // error from the source, surfaced after the queue drains
+	err     error          // sticky: an error already returned to the consumer
+}
+
+func (c *pipelinedCursor[T, U]) Next() (Result[U], error) {
+	if c.err != nil {
+		return Result[U]{}, c.err
+	}
+	// Keep the in-flight window full until the source stops.
+	for c.srcHalt == nil && c.srcErr == nil && len(c.queue) < c.depth {
+		r, err := c.inner.Next()
+		if err != nil {
+			c.srcErr = err
+			break
+		}
+		if !r.OK {
+			h := halt[U](r.Reason, r.Continuation)
+			c.srcHalt = &h
+			break
+		}
+		s := &pipeSlot[U]{done: make(chan struct{}), cont: r.Continuation}
+		go func(v T) {
+			s.v, s.err = c.f(v)
+			close(s.done)
+		}(r.Value)
+		c.queue = append(c.queue, s)
+	}
+	if len(c.queue) == 0 {
+		if c.srcErr != nil {
+			c.err = c.srcErr
+			return Result[U]{}, c.err
+		}
+		return *c.srcHalt, nil
+	}
+	s := c.queue[0]
+	c.queue = c.queue[1:]
+	<-s.done
+	if s.err != nil {
+		c.err = s.err
+		return Result[U]{}, c.err
+	}
+	return Result[U]{Value: s.v, OK: true, Continuation: s.cont}, nil
+}

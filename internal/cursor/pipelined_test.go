@@ -1,0 +1,213 @@
+package cursor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// haltingSource yields n values then halts with the given reason and
+// continuation; an optional error fires instead of the value at errAt.
+type haltingSource struct {
+	n      int
+	reason NoNextReason
+	cont   []byte
+	errAt  int // -1 disables
+	pos    int
+}
+
+func (s *haltingSource) Next() (Result[int], error) {
+	if s.errAt >= 0 && s.pos == s.errAt {
+		return Result[int]{}, fmt.Errorf("source error at %d", s.pos)
+	}
+	if s.pos >= s.n {
+		return halt[int](s.reason, s.cont), nil
+	}
+	v := s.pos
+	s.pos++
+	return Result[int]{Value: v, OK: true, Continuation: []byte{byte(v)}}, nil
+}
+
+// drain collects values, continuations, and the terminal state of a cursor.
+func drainAll[T any](t *testing.T, c Cursor[T]) (vals []T, conts [][]byte, reason NoNextReason, cont []byte, err error) {
+	t.Helper()
+	for {
+		r, e := c.Next()
+		if e != nil {
+			return vals, conts, 0, nil, e
+		}
+		if !r.OK {
+			return vals, conts, r.Reason, r.Continuation, nil
+		}
+		vals = append(vals, r.Value)
+		conts = append(conts, r.Continuation)
+	}
+}
+
+// TestMapPipelinedMatchesMap: for every depth, results (values, order,
+// per-result continuations, halt reason and halt continuation) are identical
+// to sequential Map, even when f completes out of order.
+func TestMapPipelinedMatchesMap(t *testing.T) {
+	square := func(v int) (int, error) {
+		time.Sleep(time.Duration(rand.Intn(300)) * time.Microsecond) // scramble completion order
+		return v * v, nil
+	}
+	wantVals, wantConts, wantReason, wantCont, err := drainAll(t,
+		Map[int, int](&haltingSource{n: 20, reason: ScanLimitReached, cont: []byte("resume"), errAt: -1}, square))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{1, 2, 3, 8, 32} {
+		vals, conts, reason, cont, err := drainAll(t,
+			MapPipelined[int, int](&haltingSource{n: 20, reason: ScanLimitReached, cont: []byte("resume"), errAt: -1}, depth, square))
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if len(vals) != len(wantVals) {
+			t.Fatalf("depth %d: %d values, want %d", depth, len(vals), len(wantVals))
+		}
+		for i := range vals {
+			if vals[i] != wantVals[i] || string(conts[i]) != string(wantConts[i]) {
+				t.Fatalf("depth %d: result %d = (%d, %x), want (%d, %x)",
+					depth, i, vals[i], conts[i], wantVals[i], wantConts[i])
+			}
+		}
+		if reason != wantReason || string(cont) != string(wantCont) {
+			t.Fatalf("depth %d: halt (%v, %x), want (%v, %x)", depth, reason, cont, wantReason, wantCont)
+		}
+	}
+}
+
+// TestMapPipelinedHaltPersists: after the halt is delivered, further calls
+// keep returning it.
+func TestMapPipelinedHaltPersists(t *testing.T) {
+	c := MapPipelined[int, int](&haltingSource{n: 3, reason: ByteLimitReached, cont: []byte("x"), errAt: -1}, 4,
+		func(v int) (int, error) { return v, nil })
+	for i := 0; i < 3; i++ {
+		if r, err := c.Next(); err != nil || !r.OK {
+			t.Fatalf("value %d: %+v %v", i, r, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		r, err := c.Next()
+		if err != nil || r.OK || r.Reason != ByteLimitReached || string(r.Continuation) != "x" {
+			t.Fatalf("halt call %d: %+v %v", i, r, err)
+		}
+	}
+}
+
+// TestMapPipelinedFnError: an error from f surfaces at exactly its position —
+// every earlier value is delivered first — and is sticky.
+func TestMapPipelinedFnError(t *testing.T) {
+	boom := errors.New("fetch failed")
+	fn := func(v int) (int, error) {
+		if v == 5 {
+			return 0, boom
+		}
+		time.Sleep(time.Duration(rand.Intn(200)) * time.Microsecond)
+		return v, nil
+	}
+	for _, depth := range []int{2, 8} {
+		c := MapPipelined[int, int](&haltingSource{n: 20, reason: SourceExhausted, errAt: -1}, depth, fn)
+		var got []int
+		var err error
+		for {
+			r, e := c.Next()
+			if e != nil {
+				err = e
+				break
+			}
+			if !r.OK {
+				t.Fatalf("depth %d: halted (%v) instead of erroring", depth, r.Reason)
+			}
+			got = append(got, r.Value)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("depth %d: err = %v, want %v", depth, err, boom)
+		}
+		if len(got) != 5 {
+			t.Fatalf("depth %d: delivered %v before the error, want exactly 0..4", depth, got)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("depth %d: out of order before error: %v", depth, got)
+			}
+		}
+		if _, e := c.Next(); !errors.Is(e, boom) {
+			t.Fatalf("depth %d: error not sticky: %v", depth, e)
+		}
+	}
+}
+
+// TestMapPipelinedSourceError: an error from the source surfaces after the
+// results already in flight, matching sequential order.
+func TestMapPipelinedSourceError(t *testing.T) {
+	for _, depth := range []int{2, 8} {
+		c := MapPipelined[int, int](&haltingSource{n: 20, reason: SourceExhausted, errAt: 7}, depth,
+			func(v int) (int, error) { return v, nil })
+		var got []int
+		var err error
+		for {
+			r, e := c.Next()
+			if e != nil {
+				err = e
+				break
+			}
+			if !r.OK {
+				t.Fatalf("depth %d: halted instead of erroring", depth)
+			}
+			got = append(got, r.Value)
+		}
+		if err == nil || len(got) != 7 {
+			t.Fatalf("depth %d: got %v err %v, want 0..6 then the source error", depth, got, err)
+		}
+	}
+}
+
+// TestMapPipelinedConcurrency: f actually overlaps (up to depth in flight)
+// and never exceeds the window. The atomic high-water mark also gives the
+// race detector shared state to check.
+func TestMapPipelinedConcurrency(t *testing.T) {
+	const depth = 8
+	var inFlight, peak atomic.Int64
+	fn := func(v int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+		inFlight.Add(-1)
+		return v, nil
+	}
+	vals, _, reason, _, err := drainAll(t, MapPipelined[int, int](&haltingSource{n: 64, reason: SourceExhausted, errAt: -1}, depth, fn))
+	if err != nil || reason != SourceExhausted || len(vals) != 64 {
+		t.Fatalf("drain: %d vals, %v, %v", len(vals), reason, err)
+	}
+	if p := peak.Load(); p > depth {
+		t.Fatalf("peak in-flight %d exceeds depth %d", p, depth)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("peak in-flight %d: no overlap happened", p)
+	}
+}
+
+// TestMapPipelinedDepthOne degrades to plain sequential Map: f must never be
+// invoked ahead of consumption.
+func TestMapPipelinedDepthOne(t *testing.T) {
+	var calls atomic.Int64
+	c := MapPipelined[int, int](&haltingSource{n: 10, reason: SourceExhausted, errAt: -1}, 1,
+		func(v int) (int, error) { calls.Add(1); return v, nil })
+	r, err := c.Next()
+	if err != nil || !r.OK || r.Value != 0 {
+		t.Fatalf("first: %+v %v", r, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("depth 1 prefetched: %d calls after one Next", n)
+	}
+}

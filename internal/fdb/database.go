@@ -144,9 +144,8 @@ func (d *Database) ReadVersion() int64 {
 func (d *Database) CreateTransaction() *Transaction {
 	d.metrics.TransactionsStarted.Add(1)
 	return &Transaction{
-		db:          d,
-		start:       d.nowNanos(),
-		readVersion: -1,
+		db:       d,
+		txnState: txnState{start: d.nowNanos(), readVersion: -1},
 	}
 }
 

@@ -38,4 +38,9 @@ type TxnStats struct {
 	BytesWritten int
 	RangeClears  int
 	Size         int // FDB accounting: mutation bytes + conflict range bytes
+	// Mutations counts buffered write operations (sets, atomics, clears) as
+	// they are issued, before commit. Layers that cannot observe a
+	// substrate's individual writes (rank skip lists, bunched text maps)
+	// meter them from a before/after delta of Mutations and Size.
+	Mutations int
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"sort"
+	"sync"
 )
 
 // KeyValue is a single key-value pair returned by range reads.
@@ -72,10 +73,20 @@ type vsKeyOp struct {
 }
 
 // Transaction provides serializable reads and buffered writes against a
-// Database. It is not safe for concurrent use by multiple goroutines,
-// matching the real client.
+// Database. Operations are serialized by an internal mutex, so a transaction
+// handle may be shared by concurrent goroutines — the real client is likewise
+// thread-safe, which is what lets the Record Layer keep multiple record
+// fetches in flight behind one index scan (§8's asynchronous pipelining).
 type Transaction struct {
-	db    *Database
+	db *Database
+	mu sync.Mutex
+	txnState
+}
+
+// txnState is every Transaction field that Reset returns to zero — kept in
+// one embedded struct so Reset stays exhaustive by construction when fields
+// are added (the mutex must survive a Reset and lives outside).
+type txnState struct {
 	start int64 // start wall clock, nanoseconds
 
 	readVersion int64 // -1 until GRV
@@ -142,6 +153,8 @@ func (t *Transaction) ensureSnapshot() error {
 // GetReadVersion returns the transaction's read version, performing the GRV
 // call if it has not happened yet.
 func (t *Transaction) GetReadVersion() (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkUsable(); err != nil {
 		return 0, err
 	}
@@ -156,6 +169,8 @@ func (t *Transaction) GetReadVersion() (int64, error) {
 // retained snapshot at or below v; if none is retained the next read fails
 // with transaction_too_old.
 func (t *Transaction) SetReadVersion(v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.readVersion = v
 	t.snapRoot = nil
 	t.pendingRV = true
@@ -181,6 +196,8 @@ func (s Snapshot) GetRange(begin, end []byte, o RangeOptions) ([]KeyValue, bool,
 func (t *Transaction) Get(key []byte) ([]byte, error) { return t.get(key, false) }
 
 func (t *Transaction) get(key []byte, snapshot bool) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkUsable(); err != nil {
 		return nil, err
 	}
@@ -244,6 +261,8 @@ func (t *Transaction) GetRange(begin, end []byte, o RangeOptions) ([]KeyValue, b
 }
 
 func (t *Transaction) getRange(begin, end []byte, o RangeOptions, snapshot bool) ([]KeyValue, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkUsable(); err != nil {
 		return nil, false, err
 	}
@@ -403,6 +422,8 @@ func (t *Transaction) bufferedKeysIn(begin, end []byte, reverse bool) []string {
 
 // Set buffers a key-value write.
 func (t *Transaction) Set(key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkWrite(key, value); err != nil {
 		return err
 	}
@@ -436,17 +457,26 @@ func (t *Transaction) setEntry(key []byte, e *bufEntry) {
 
 func (t *Transaction) accountWrite(n int) {
 	t.stats.Size += n
+	t.stats.Mutations++
 }
 
 // Clear buffers the removal of a single key.
 func (t *Transaction) Clear(key []byte) error {
-	return t.ClearRange(key, keyAfter(key))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clearRange(key, keyAfter(key))
 }
 
 // ClearRange buffers the removal of all keys in [begin, end). Range clears
 // are cheap regardless of the number of keys affected (§2), which is what
 // makes dropping a whole index or record store inexpensive (§6).
 func (t *Transaction) ClearRange(begin, end []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clearRange(begin, end)
+}
+
+func (t *Transaction) clearRange(begin, end []byte) error {
 	if err := t.checkUsable(); err != nil {
 		return err
 	}
@@ -470,6 +500,8 @@ func (t *Transaction) ClearRange(begin, end []byte) error {
 // key (or value) must carry a 4-byte little-endian placeholder offset as its
 // final bytes, as produced by tuple.Tuple.PackWithVersionstamp.
 func (t *Transaction) Atomic(typ MutationType, key, param []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkUsable(); err != nil {
 		return err
 	}
@@ -541,20 +573,38 @@ func (t *Transaction) Atomic(typ MutationType, key, param []byte) error {
 
 // AddReadConflictKey manually adds a single-key read conflict, used after
 // snapshot reads to conflict only on the keys that matter (§10.1).
-func (t *Transaction) AddReadConflictKey(key []byte) { t.readConflicts.AddKey(key) }
+func (t *Transaction) AddReadConflictKey(key []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.readConflicts.AddKey(key)
+}
 
 // AddReadConflictRange manually adds a read conflict range.
-func (t *Transaction) AddReadConflictRange(begin, end []byte) { t.readConflicts.Add(begin, end) }
+func (t *Transaction) AddReadConflictRange(begin, end []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.readConflicts.Add(begin, end)
+}
 
 // AddWriteConflictKey manually adds a single-key write conflict.
-func (t *Transaction) AddWriteConflictKey(key []byte) { t.writeConflicts.AddKey(key) }
+func (t *Transaction) AddWriteConflictKey(key []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.writeConflicts.AddKey(key)
+}
 
 // AddWriteConflictRange manually adds a write conflict range.
-func (t *Transaction) AddWriteConflictRange(begin, end []byte) { t.writeConflicts.Add(begin, end) }
+func (t *Transaction) AddWriteConflictRange(begin, end []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.writeConflicts.Add(begin, end)
+}
 
 // Commit validates and applies the transaction. On conflict it returns a
 // retryable not_committed error, matching optimistic concurrency control.
 func (t *Transaction) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.checkUsable(); err != nil {
 		return err
 	}
@@ -672,6 +722,8 @@ func versionstampBytes(commitVersion int64) []byte {
 
 // CommittedVersion returns the version this transaction committed at.
 func (t *Transaction) CommittedVersion() (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.committed {
 		return 0, errCode(CodeClientInvalidOp, "transaction not committed")
 	}
@@ -680,6 +732,8 @@ func (t *Transaction) CommittedVersion() (int64, error) {
 
 // Versionstamp returns the 10-byte versionstamp assigned at commit.
 func (t *Transaction) Versionstamp() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.committed {
 		return nil, errCode(CodeClientInvalidOp, "transaction not committed")
 	}
@@ -687,14 +741,24 @@ func (t *Transaction) Versionstamp() ([]byte, error) {
 }
 
 // Stats returns the I/O accounting for this transaction so far.
-func (t *Transaction) Stats() TxnStats { return t.stats }
+func (t *Transaction) Stats() TxnStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
 
 // Cancel aborts the transaction; all subsequent operations fail.
-func (t *Transaction) Cancel() { t.canceled = true }
+func (t *Transaction) Cancel() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.canceled = true
+}
 
 // Reset returns the transaction to a fresh state with a new read version.
 func (t *Transaction) Reset() {
-	*t = Transaction{db: t.db, start: t.db.nowNanos(), readVersion: -1}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.txnState = txnState{start: t.db.nowNanos(), readVersion: -1}
 }
 
 // applyMutations folds atomic operations over a base value. The second

@@ -73,6 +73,17 @@ func (c *Context) meteredAtomic(typ fdb.MutationType, key, param []byte) error {
 	return nil
 }
 
+// meterWriteDelta meters mutations issued by a substrate whose individual
+// writes the maintainer cannot observe (the rank skip list, the bunched text
+// map): the caller snapshots tr.Stats() before the mutations and the delta in
+// buffered operations and bytes is accounted to the tenant afterwards.
+func (c *Context) meterWriteDelta(before fdb.TxnStats) {
+	after := c.Tr.Stats()
+	if rows := after.Mutations - before.Mutations; rows > 0 {
+		c.Meter.RecordWrite(rows, after.Size-before.Size)
+	}
+}
+
 // Maintainer updates index data when records change. Exactly one of old and
 // new may be nil: insert (old nil), update (both), delete (new nil).
 type Maintainer interface {

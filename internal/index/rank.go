@@ -55,6 +55,11 @@ func (m *RankMaintainer) Update(ctx *Context, old, new *Record) error {
 		return err
 	}
 	rs := m.set(ctx.Space)
+	// The skip list issues its own sets/atomics/clears (including one-time
+	// head initialization); meter them from the transaction's mutation delta
+	// so rank maintenance debits the tenant like every other write path.
+	before := ctx.Tr.Stats()
+	defer ctx.meterWriteDelta(before)
 	if err := rs.Init(ctx.Tr); err != nil {
 		return err
 	}

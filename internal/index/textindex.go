@@ -85,6 +85,11 @@ func (m *TextMaintainer) Update(ctx *Context, old, new *Record) error {
 	if err != nil {
 		return err
 	}
+	// The bunched map rewrites whole bunches per token; meter its mutations
+	// from the transaction delta so text maintenance debits the tenant like
+	// every other write path.
+	before := ctx.Tr.Stats()
+	defer ctx.meterWriteDelta(before)
 	for tok := range oldPos {
 		if _, stillThere := newPos[tok]; !stillThere {
 			if _, err := bm.Delete(ctx.Tr, tok, old.PrimaryKey); err != nil {

@@ -27,14 +27,27 @@ type Options struct {
 	Meter *resource.Meter
 	// Continuation resumes after a previously returned key.
 	Continuation []byte
-	// BatchSize bounds each underlying GetRange (default 128).
+	// BatchSize bounds the first underlying GetRange (default 128). Later
+	// batches grow exponentially up to MaxBatchSize — FDB's iterator mode —
+	// so long scans stop paying a full range-read setup per 128 pairs.
 	BatchSize int
+	// MaxBatchSize caps the batch growth (default 4096). Set it equal to
+	// BatchSize to disable growth.
+	MaxBatchSize int
 }
+
+// Default batch sizing: start small so point-ish scans stay cheap, grow
+// exponentially so long scans amortize per-batch costs.
+const (
+	DefaultBatchSize    = 128
+	DefaultMaxBatchSize = 4096
+)
 
 type kvCursor struct {
 	tr         *fdb.Transaction
 	begin, end []byte
 	opts       Options
+	batch      int // next GetRange limit; doubles per fill up to MaxBatchSize
 	buf        []fdb.KeyValue
 	bufPos     int
 	more       bool
@@ -47,8 +60,15 @@ type kvCursor struct {
 func New(tr *fdb.Transaction, begin, end []byte, opts Options) cursor.Cursor[fdb.KeyValue] {
 	c := &kvCursor{tr: tr, begin: append([]byte(nil), begin...), end: append([]byte(nil), end...), opts: opts}
 	if opts.BatchSize <= 0 {
-		c.opts.BatchSize = 128
+		c.opts.BatchSize = DefaultBatchSize
 	}
+	if opts.MaxBatchSize <= 0 {
+		c.opts.MaxBatchSize = DefaultMaxBatchSize
+	}
+	if c.opts.MaxBatchSize < c.opts.BatchSize {
+		c.opts.MaxBatchSize = c.opts.BatchSize
+	}
+	c.batch = c.opts.BatchSize
 	if len(opts.Continuation) > 0 {
 		// The continuation is the last key previously returned.
 		if !opts.Reverse {
@@ -61,7 +81,7 @@ func New(tr *fdb.Transaction, begin, end []byte, opts Options) cursor.Cursor[fdb
 }
 
 func (c *kvCursor) fill() error {
-	ro := fdb.RangeOptions{Limit: c.opts.BatchSize, Reverse: c.opts.Reverse}
+	ro := fdb.RangeOptions{Limit: c.batch, Reverse: c.opts.Reverse}
 	var kvs []fdb.KeyValue
 	var more bool
 	var err error
@@ -85,11 +105,20 @@ func (c *kvCursor) fill() error {
 	}
 	c.buf, c.bufPos, c.more, c.started = kvs, 0, more, true
 	if len(kvs) > 0 {
+		// Advance the bound in place: begin/end are owned by the cursor
+		// (copied at construction, and GetRange copies what it retains), so
+		// refills reuse their backing arrays instead of reallocating.
 		last := kvs[len(kvs)-1].Key
 		if !c.opts.Reverse {
-			c.begin = fdb.KeyAfter(last)
+			c.begin = append(append(c.begin[:0], last...), 0x00)
 		} else {
-			c.end = append([]byte(nil), last...)
+			c.end = append(c.end[:0], last...)
+		}
+	}
+	if c.batch < c.opts.MaxBatchSize {
+		c.batch *= 2
+		if c.batch > c.opts.MaxBatchSize {
+			c.batch = c.opts.MaxBatchSize
 		}
 	}
 	return nil
@@ -127,6 +156,9 @@ func (c *kvCursor) Next() (cursor.Result[fdb.KeyValue], error) {
 		return h, nil
 	}
 	c.bufPos++
-	c.lastKey = append([]byte(nil), kv.Key...)
+	// kv.Key is a fresh slice produced by GetRange for this cursor alone;
+	// share it with the continuation rather than copying per pair. Keys are
+	// treated as immutable throughout the layer.
+	c.lastKey = kv.Key
 	return cursor.Result[fdb.KeyValue]{Value: kv, OK: true, Continuation: c.lastKey}, nil
 }

@@ -24,6 +24,9 @@ type ExecuteOptions struct {
 	// Snapshot executes every scan at snapshot isolation: reads add no
 	// conflict ranges, so long queries never abort concurrent writers.
 	Snapshot bool
+	// PipelineDepth is how many record fetches an index scan keeps in flight
+	// (§8's asynchronous pipelining); <= 1 fetches sequentially.
+	PipelineDepth int
 }
 
 // Plan is an executable query plan. Plans are immutable and reusable across
@@ -43,6 +46,32 @@ func errPlanCursor(err error) cursor.Cursor[*core.StoredRecord] {
 	return cursor.Func[*core.StoredRecord](func() (cursor.Result[*core.StoredRecord], error) {
 		return cursor.Result[*core.StoredRecord]{}, err
 	})
+}
+
+// childOptions derives the options a merge plan hands each child: the
+// parent's execution knobs with the child's own continuation. Single-sited so
+// a new ExecuteOptions field cannot be propagated to some children and not
+// others.
+func childOptions(opts ExecuteOptions, cont []byte) ExecuteOptions {
+	opts.Continuation = cont
+	return opts
+}
+
+// childBuilders wraps each child plan as a continuation-taking cursor
+// builder, the shape cursor.Union/Intersection/Concat consume.
+func childBuilders(s *core.Store, children []Plan, opts ExecuteOptions) []func([]byte) cursor.Cursor[*core.StoredRecord] {
+	builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(children))
+	for i, child := range children {
+		child := child
+		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
+			c, err := child.Execute(s, childOptions(opts, cont))
+			if err != nil {
+				return errPlanCursor(err)
+			}
+			return c
+		}
+	}
+	return builders
 }
 
 // ---------------------------------------------------------------- full scan
@@ -113,7 +142,7 @@ func (p *IndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curs
 	if err != nil {
 		return nil, err
 	}
-	return s.FetchIndexedSnapshot(entries, opts.Snapshot), nil
+	return s.FetchIndexedPipelined(entries, opts.Snapshot, opts.PipelineDepth), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -227,30 +256,9 @@ type UnionPlan struct {
 
 // Execute implements Plan.
 func (p *UnionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
+	builders := childBuilders(s, p.Children, opts)
 	if p.OrderedByPrimaryKey() {
-		builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(p.Children))
-		for i, child := range p.Children {
-			child := child
-			builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-				c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter, Snapshot: opts.Snapshot})
-				if err != nil {
-					return errPlanCursor(err)
-				}
-				return c
-			}
-		}
 		return cursor.Union(opts.Continuation, pkOf, builders...)
-	}
-	builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(p.Children))
-	for i, child := range p.Children {
-		child := child
-		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter, Snapshot: opts.Snapshot})
-			if err != nil {
-				return errPlanCursor(err)
-			}
-			return c
-		}
 	}
 	chained, err := cursor.Concat(opts.Continuation, builders...)
 	if err != nil {
@@ -305,18 +313,7 @@ func (p *IntersectionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.C
 	if !p.OrderedByPrimaryKey() {
 		return nil, fmt.Errorf("plan: intersection requires primary-key ordered children")
 	}
-	builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(p.Children))
-	for i, child := range p.Children {
-		child := child
-		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-			c, err := child.Execute(s, ExecuteOptions{Continuation: cont, Limiter: opts.Limiter, Snapshot: opts.Snapshot})
-			if err != nil {
-				return errPlanCursor(err)
-			}
-			return c
-		}
-	}
-	return cursor.Intersection(opts.Continuation, pkOf, builders...)
+	return cursor.Intersection(opts.Continuation, pkOf, childBuilders(s, p.Children, opts)...)
 }
 
 // OrderedByPrimaryKey implements Plan.

@@ -86,6 +86,11 @@ func (p *Planner) planConjunction(q query.RecordQuery) (Plan, error) {
 
 	best := p.bestIndexMatch(q, conjuncts)
 	if best == nil {
+		// No index narrows the scan — but with a projection, an index-only
+		// scan over a covering index still beats reading every record.
+		if cov := p.coveringFullScan(q, conjuncts); cov != nil {
+			return wrapResidual(cov, conjuncts, false), nil
+		}
 		if q.Sort != nil {
 			return nil, fmt.Errorf("plan: no index satisfies sort %s; the streaming model cannot sort in memory", q.Sort)
 		}
@@ -93,6 +98,16 @@ func (p *Planner) planConjunction(q query.RecordQuery) (Plan, error) {
 			return nil, fmt.Errorf("plan: no index matches %s and full scans are disallowed", q)
 		}
 		return wrapResidual(&FullScanPlan{Types: q.RecordTypes}, conjuncts, false), nil
+	}
+
+	// A covering match wins outright: it answers the query from the index
+	// alone, so neither a residual-reducing intersection nor the record
+	// fetches are worth anything (§6, Appendix A).
+	if best.covering != nil {
+		for _, i := range best.used {
+			conjuncts[i].consumed = true
+		}
+		return wrapResidual(best.covering, conjuncts, false), nil
 	}
 
 	// Optionally intersect with a second disjoint fully-bound match (§9's
@@ -155,6 +170,9 @@ type indexMatch struct {
 	hasRange      bool
 	sortSatisfied bool
 	fanOut        bool
+	// covering is the covering promotion of this match, when the query
+	// carries a projection the index can answer by itself.
+	covering *CoveringIndexScanPlan
 }
 
 func (m *indexMatch) better(o *indexMatch) bool {
@@ -170,7 +188,31 @@ func (m *indexMatch) better(o *indexMatch) bool {
 	if m.hasRange != o.hasRange {
 		return m.hasRange
 	}
-	return len(m.used) > len(o.used)
+	if len(m.used) != len(o.used) {
+		return len(m.used) > len(o.used)
+	}
+	// Equal filtering power: prefer the index that avoids record fetches
+	// entirely (covering beats fetching, §6 / Appendix A).
+	return m.covering != nil && o.covering == nil
+}
+
+// coveringFullScan is the index-only fallback for projected queries no index
+// match narrows: any covering-capable value index can still answer the query
+// by scanning its whole extent, which reads index entries instead of records.
+// A requested sort must be satisfied by the index's leading columns.
+func (p *Planner) coveringFullScan(q query.RecordQuery, conjuncts []*conjunct) *CoveringIndexScanPlan {
+	if len(q.Projection) == 0 {
+		return nil
+	}
+	for _, ix := range p.md.Indexes() {
+		if ix.Type != metadata.IndexValue || !indexCoversTypes(ix, q.RecordTypes, p.md) {
+			continue
+		}
+		if m := p.matchIndex(ix, q, conjuncts); m != nil && m.covering != nil {
+			return m.covering
+		}
+	}
+	return nil
 }
 
 // bestIndexMatch tries every readable value index applicable to the queried
@@ -328,6 +370,7 @@ func (p *Planner) matchIndex(ix *metadata.Index, q query.RecordQuery, conjuncts 
 		FullyBound: m.equalities == len(cols) && !m.hasRange,
 		FanOut:     m.fanOut,
 	}
+	m.covering = p.coveringFor(ix, q, conjuncts, m)
 	return m
 }
 

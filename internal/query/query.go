@@ -477,6 +477,23 @@ type RecordQuery struct {
 	Sort keyexpr.Expression
 	// SortReverse reverses the sort.
 	SortReverse bool
+	// Projection names the top-level fields the caller will read from the
+	// results. It is a promise, not a transformation: when every projected
+	// field (plus any residual-filter fields) can be reconstructed from an
+	// index entry, the planner emits a covering plan that synthesizes partial
+	// records straight from the index — zero record-subspace reads (§6,
+	// Appendix A's KeyWithValue) — and those partial records carry only the
+	// projected and filter fields, no record version, and a zero stored Size.
+	// Plans that fetch anyway return full records unchanged. Empty means the
+	// whole record is needed. Build with Select.
+	Projection []string
+}
+
+// Select returns a copy of the query projecting the named top-level fields —
+// the opt-in that enables covering index plans.
+func (q RecordQuery) Select(fields ...string) RecordQuery {
+	q.Projection = append([]string(nil), fields...)
+	return q
 }
 
 // String renders the query.
@@ -493,6 +510,11 @@ func (q RecordQuery) String() string {
 	}
 	if q.Sort != nil {
 		fmt.Fprintf(&sb, ", sort=%s reverse=%v", q.Sort, q.SortReverse)
+	}
+	if len(q.Projection) > 0 {
+		// Rendered so plan-cache fingerprints distinguish projected queries:
+		// the same filter plans differently with and without a projection.
+		fmt.Fprintf(&sb, ", select=%v", q.Projection)
 	}
 	sb.WriteString(")")
 	return sb.String()

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Type codes, chosen to match the FoundationDB tuple specification so that
@@ -101,12 +102,46 @@ var errIncomplete = errors.New("tuple: cannot pack incomplete versionstamp witho
 // element of unsupported type (a programming error) and returns an error-free
 // encoding otherwise. Incomplete versionstamps are rejected.
 func (t Tuple) Pack() []byte {
-	b, err := t.packInto(nil, nil)
+	b, err := t.packInto(make([]byte, 0, t.packedCap()), nil)
 	if err != nil {
 		panic(err)
 	}
 	return b
 }
+
+// packedCap returns an upper bound on the packed encoding size, so Pack can
+// allocate its buffer once instead of growing it through repeated appends —
+// packing sits on every key construction in the layer.
+func (t Tuple) packedCap() int {
+	n := 0
+	for _, e := range t {
+		switch v := e.(type) {
+		case nil:
+			n += 2 // nested nulls escape to two bytes
+		case []byte:
+			n += 2 + len(v) + bytes.Count(v, zeroByte)
+		case string:
+			n += 2 + len(v) + strings.Count(v, "\x00")
+		case Tuple:
+			n += 2 + v.packedCap()
+		case float32:
+			n += 5
+		case float64:
+			n += 9
+		case bool:
+			n++
+		case UUID:
+			n += 17
+		case Versionstamp:
+			n += 13
+		default:
+			n += 9 // integer types: code byte + at most 8 value bytes
+		}
+	}
+	return n
+}
+
+var zeroByte = []byte{0x00}
 
 // PackWithVersionstamp encodes a tuple containing exactly one incomplete
 // Versionstamp and appends the little-endian 4-byte offset of its 10-byte
@@ -114,7 +149,8 @@ func (t Tuple) Pack() []byte {
 // SetVersionstampedKey atomic operation.
 func (t Tuple) PackWithVersionstamp(prefix []byte) ([]byte, error) {
 	offset := -1
-	b, err := t.packInto(append([]byte(nil), prefix...), &offset)
+	buf := make([]byte, 0, len(prefix)+t.packedCap()+4)
+	b, err := t.packInto(append(buf, prefix...), &offset)
 	if err != nil {
 		return nil, err
 	}

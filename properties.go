@@ -38,12 +38,35 @@ type ExecuteProperties struct {
 	// Snapshot executes reads at snapshot isolation: the query adds no read
 	// conflict ranges, so it can never abort a concurrent writer.
 	Snapshot bool
+	// PipelineDepth is how many record fetches an index scan keeps in flight
+	// at once (§8's asynchronous pipelining). 0 means DefaultPipelineDepth;
+	// 1 fetches sequentially, one round trip per entry. Results are
+	// byte-identical to sequential execution (order, halts, continuations);
+	// the difference is eagerness: the scan runs up to PipelineDepth entries
+	// ahead of the consumer, so a stream abandoned early (e.g. under a small
+	// RowLimit) may have scanned, fetched, metered, and added read conflicts
+	// for up to PipelineDepth-1 records beyond the last one delivered. Set 1
+	// when that footprint matters more than fetch latency. Covering plans
+	// never fetch, so the knob does not apply to them.
+	PipelineDepth int
 	// Continuation resumes a previous execution of the same query from
 	// where it halted.
 	Continuation []byte
 	// Clock overrides the time source for the time budget (tests); nil
 	// means time.Now.
 	Clock func() time.Time
+}
+
+// DefaultPipelineDepth is the record-fetch pipelining applied when
+// ExecuteProperties.PipelineDepth is zero.
+const DefaultPipelineDepth = 8
+
+// pipelineDepth resolves the configured depth, applying the default.
+func (p ExecuteProperties) pipelineDepth() int {
+	if p.PipelineDepth == 0 {
+		return DefaultPipelineDepth
+	}
+	return p.PipelineDepth
 }
 
 // WithContinuation returns a copy that resumes from cont — the idiom for

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the query hot-path benchmarks with -benchmem and writes BENCH_4.json:
+# ns/op, B/op, allocs/op, and simulator reads per op for the covering vs
+# fetching planned query, the pipelined index scan, record loads, and tuple
+# packing. The committed BENCH_4.json is the baseline future PRs compare
+# against; CI regenerates and uploads a fresh one per run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_4.json}"
+
+raw=$(go test -run '^$' \
+  -bench 'BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkTuplePack' \
+  -benchmem .)
+echo "$raw"
+
+echo "$raw" | awk -v out="$out" '
+/^Benchmark/ {
+  name=$1; iters=$2; ns=$3
+  bop=""; aop=""; sim=""
+  for (i=4; i<=NF; i++) {
+    if ($i=="B/op") bop=$(i-1)
+    if ($i=="allocs/op") aop=$(i-1)
+    if ($i=="simreads/op") sim=$(i-1)
+  }
+  rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+  if (bop != "") rec = rec sprintf(", \"bytes_per_op\": %s", bop)
+  if (aop != "") rec = rec sprintf(", \"allocs_per_op\": %s", aop)
+  if (sim != "") rec = rec sprintf(", \"simreads_per_op\": %s", sim)
+  recs[n++] = rec "}"
+}
+END {
+  print "{" > out
+  print "  \"suite\": \"query hot path: covering index plans + pipelined record fetches\"," >> out
+  print "  \"benchmarks\": [" >> out
+  for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n-1 ? "," : "") >> out
+  print "  ]" >> out
+  print "}" >> out
+}'
+echo "wrote $out"

@@ -129,10 +129,12 @@ func TestSkipSingleTransactionUnchanged(t *testing.T) {
 	}
 }
 
-// TestSkipNoProgressHaltKeepsNilContinuation: a scan limit too small to
-// assemble even one record halts with a nil inner continuation; the skip
-// envelope must preserve that nil rather than manufacture a non-nil
-// continuation that would restart from scratch forever.
+// TestSkipNoProgressHaltKeepsNilContinuation: a halt before any record makes
+// progress carries a nil inner continuation; the skip envelope must preserve
+// that nil rather than manufacture a non-nil continuation that would restart
+// from scratch forever. Scan and byte limits always admit the first record
+// now (the sub-record progress guarantee), so the only no-progress halt left
+// is an already-expired time budget.
 func TestSkipNoProgressHaltKeepsNilContinuation(t *testing.T) {
 	_, md := testSchema(t)
 	db := fdb.Open(nil)
@@ -140,15 +142,21 @@ func TestSkipNoProgressHaltKeepsNilContinuation(t *testing.T) {
 	p := testProvider(t, md)
 	saveDocs(t, r, p, 1, 6)
 
+	// A manual clock that advances on every reading: the 1ns budget expires
+	// before the first record can be admitted.
+	base := time.Now()
+	calls := 0
+	clock := func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Millisecond)
+	}
 	_, err := r.ReadRun(context.Background(), func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 		store, err := p.Open(ctx, tr, int64(1))
 		if err != nil {
 			return nil, err
 		}
-		// ScanRecordLimit 1 cannot complete a multi-pair record: the plan
-		// halts with no progress and a nil continuation.
 		cur, err := store.ExecuteQuery(ctx, Query{RecordTypes: []string{"Doc"}},
-			ExecuteProperties{Skip: 2, ScanRecordLimit: 1})
+			ExecuteProperties{Skip: 2, TimeBudget: time.Nanosecond, Clock: clock})
 		if err != nil {
 			return nil, err
 		}

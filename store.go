@@ -190,9 +190,10 @@ func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProp
 		}
 	}
 	c, err := pl.Execute(s.Store, plan.ExecuteOptions{
-		Continuation: cont,
-		Limiter:      props.limiter(ctx),
-		Snapshot:     props.Snapshot,
+		Continuation:  cont,
+		Limiter:       props.limiter(ctx),
+		Snapshot:      props.Snapshot,
+		PipelineDepth: props.pipelineDepth(),
 	})
 	if err != nil {
 		return nil, err
