@@ -110,6 +110,39 @@
 // key-value footprint still admits one record per execution, so paging
 // always makes progress (§8.2's "first record is always admitted").
 //
+// # Asynchrony and the latency model
+//
+// The FDB client is asynchronous at its core: every read returns a future,
+// and the layer's performance story (§8) is issuing many reads before
+// awaiting any, so K outstanding reads cost one network round trip rather
+// than K. The simulator reproduces that contract. Transaction.GetAsync and
+// GetRangeAsync (plus Snapshot variants) resolve their data at issue time —
+// the MVCC snapshot is fixed, so the answer is already determined — and
+// defer only the simulated I/O wait to Future.Get. With a latency model
+// configured (fdb.Options.Latency: a per-read base cost plus a per-KB
+// transfer cost), each read completes one read-cost after it was issued;
+// futures issued back-to-back therefore share a window, while
+// issue-await-issue-await loops pay one window per read. Latency.Virtual
+// runs the latency clock as a deterministic in-process virtual clock (awaits
+// jump it forward instead of sleeping), so tests assert exact window
+// arithmetic; TxnStats.SimWaitNanos and InFlightHighWater make the achieved
+// overlap observable. The default model is zero cost: reads resolve
+// instantly and nothing is tracked.
+//
+// Three hot paths exploit the futures end-to-end. Index-scan record fetches
+// issue up to PipelineDepth range reads ahead of the consumer on a single
+// goroutine (cursor.MapAsync — no worker goroutines, so depth 8 costs the
+// same as depth 1 when reads are instant). Range scans prefetch their next
+// batch while the current one drains (kvcursor read-ahead, on by default;
+// ExecuteProperties.NoReadAhead opts an execution out when the footprint of
+// one speculative batch matters). And the batched write path —
+// Store.SaveRecords — issues all N old-record loads as concurrent futures
+// before maintaining indexes, with unique-index probes likewise issued in
+// parallel; Store.InsertRecord skips the old-record load entirely for
+// caller-asserted-new rows, substituting a conflict-checked existence probe.
+// Under `go test -bench . -args -latency 100us`, scripts/bench.sh records
+// both the instant-read and the latency-profile numbers in BENCH_5.json.
+//
 // # Resource governance
 //
 // Bind a tenant identity to the request context and give the Runner a

@@ -65,20 +65,27 @@ func (s *Store) FetchIndexedSnapshot(entries cursor.Cursor[index.Entry], snapsho
 
 // FetchIndexedPipelined is FetchIndexedSnapshot with up to depth record
 // fetches in flight at once — the paper's asynchronous pipelining (§8): the
-// index scan keeps streaming while earlier entries' record reads are still
-// outstanding. Results preserve entry order, halts, and continuations
-// exactly; depth <= 1 is the sequential path.
+// fetch behind each index entry is issued as a range-read future, so the
+// index scan keeps streaming (and up to depth record reads share one
+// simulated latency window) while earlier entries' reads are outstanding.
+// Everything runs on the consumer's goroutine — at zero latency the depth-8
+// path costs the same as sequential. Results preserve entry order, halts,
+// and continuations exactly; depth <= 1 is the sequential path.
 func (s *Store) FetchIndexedPipelined(entries cursor.Cursor[index.Entry], snapshot bool, depth int) cursor.Cursor[*StoredRecord] {
-	return cursor.MapPipelined(entries, depth, func(e index.Entry) (*StoredRecord, error) {
-		rec, err := s.loadRecordByKey(e.PrimaryKey, snapshot)
-		if err != nil {
-			return nil, err
-		}
-		if rec == nil {
-			return nil, fmt.Errorf("core: index entry %v points at missing record %v", e.Key, e.PrimaryKey)
-		}
-		return rec, nil
-	})
+	return cursor.MapAsync(entries, depth,
+		func(e index.Entry) recordLoad {
+			return s.issueLoadRecord(e.PrimaryKey, snapshot)
+		},
+		func(e index.Entry, l recordLoad) (*StoredRecord, error) {
+			rec, err := s.awaitLoadRecord(l)
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil {
+				return nil, fmt.Errorf("core: index entry %v points at missing record %v", e.Key, e.PrimaryKey)
+			}
+			return rec, nil
+		})
 }
 
 // AggregateInt64 reads a COUNT/COUNT_UPDATES/COUNT_NON_NULL/SUM value for a

@@ -83,6 +83,12 @@ type Store struct {
 	userVersion uint16 // per-transaction counter for versionstamps (§7)
 
 	maintainers map[string]index.Maintainer
+	// indexStates caches IndexState reads for the store's lifetime (one
+	// transaction): updateIndexes consults the state of every index on every
+	// save, and re-reading an unchanged key N times per transaction is pure
+	// overhead. All state changes flow through setIndexState, which keeps the
+	// cache coherent.
+	indexStates map[string]metadata.IndexState
 }
 
 // OpenOptions controls store opening.
@@ -114,7 +120,8 @@ func (e *ErrStaleMetaData) Error() string {
 // removed indexes have their data cleared (§5).
 func Open(tr *fdb.Transaction, md *metadata.MetaData, space subspace.Subspace, opts OpenOptions) (*Store, error) {
 	s := &Store{tr: tr, md: md, space: space, cfg: opts.Config.withDefaults(),
-		meter: opts.Meter, maintainers: make(map[string]index.Maintainer)}
+		meter: opts.Meter, maintainers: make(map[string]index.Maintainer),
+		indexStates: make(map[string]metadata.IndexState)}
 	raw, err := tr.Get(s.headerKey())
 	if err != nil {
 		return nil, err
@@ -243,27 +250,39 @@ func (s *Store) stateKey(name string) []byte {
 }
 
 // IndexState reports an index's lifecycle state; indexes default to readable
-// unless explicitly marked (§6).
+// unless explicitly marked (§6). The first read per index is cached for the
+// store's (single-transaction) lifetime.
 func (s *Store) IndexState(name string) (metadata.IndexState, error) {
+	if st, ok := s.indexStates[name]; ok {
+		return st, nil
+	}
 	raw, err := s.tr.Get(s.stateKey(name))
 	if err != nil {
 		return 0, err
 	}
-	if raw == nil {
-		return metadata.StateReadable, nil
+	st := metadata.StateReadable
+	if raw != nil {
+		t, err := tuple.Unpack(raw)
+		if err != nil {
+			return 0, err
+		}
+		st = metadata.IndexState(t[0].(int64))
 	}
-	t, err := tuple.Unpack(raw)
-	if err != nil {
-		return 0, err
-	}
-	return metadata.IndexState(t[0].(int64)), nil
+	s.indexStates[name] = st
+	return st, nil
 }
 
 func (s *Store) setIndexState(name string, st metadata.IndexState) error {
+	var err error
 	if st == metadata.StateReadable {
-		return s.tr.Clear(s.stateKey(name))
+		err = s.tr.Clear(s.stateKey(name))
+	} else {
+		err = s.tr.Set(s.stateKey(name), tuple.Tuple{int64(st)}.Pack())
 	}
-	return s.tr.Set(s.stateKey(name), tuple.Tuple{int64(st)}.Pack())
+	if err == nil {
+		s.indexStates[name] = st
+	}
+	return err
 }
 
 // MarkIndexWriteOnly moves an index to the write-only state: maintained by
@@ -292,6 +311,7 @@ func (s *Store) clearIndexData(name string) error {
 	if err := s.tr.Clear(s.stateKey(name)); err != nil {
 		return err
 	}
+	s.indexStates[name] = metadata.StateReadable // cleared state = readable default
 	return s.tr.Clear(s.space.Pack(tuple.Tuple{progressSub, name}))
 }
 

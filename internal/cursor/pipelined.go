@@ -1,52 +1,53 @@
 package cursor
 
-// MapPipelined is Map with up to depth applications of f in flight at once:
-// the paper's asynchronous pipelining (§8), where the record fetches behind
-// an index scan overlap instead of serializing one round trip per entry.
+// MapAsync pipelines an issue/await pair over a cursor in a single goroutine:
+// the paper's asynchronous futures (§8). For each source element, issue
+// starts the work (returning a handle, typically an *fdb.Future*) and await
+// resolves it; up to depth handles are kept outstanding, issued in source
+// order and awaited in source order. Against a latency-modeled store, the
+// outstanding reads overlap — depth in-flight fetches cost ~1 window, not
+// depth — with no goroutine or channel bookkeeping, so at zero latency the
+// depth-8 path costs the same as depth 1. (A goroutine-pool MapPipelined
+// preceded this; issue/await made it redundant and it was removed.)
 //
-// Semantics are identical to Map(inner, f) — results are delivered in source
-// order with their source continuations, a source halt (including out-of-band
-// limits) is delivered after every preceding value, and an error from f or
-// from the source surfaces at exactly the position it would have under
-// sequential execution. The only observable difference is eagerness: the
-// source is pulled up to depth elements ahead of consumption, so resource
-// limits charged at the source (scan limits, metering) account for the
-// prefetched window even if the consumer stops early.
-//
-// f is invoked from worker goroutines and must be safe for concurrent use.
-// depth <= 1 degrades to plain sequential Map.
-func MapPipelined[T, U any](inner Cursor[T], depth int, f func(T) (U, error)) Cursor[U] {
-	if depth <= 1 {
-		return Map(inner, f)
+// Semantics are identical to Map(inner, func(v) { return await(v, issue(v)) })
+// — source order, halts, continuations, and error positions are preserved.
+// The only observable difference is eagerness: the source is pulled and
+// issued up to depth elements ahead of consumption, so source-side limits and
+// issued reads (conflict ranges, accounting) may run ahead of the consumer by
+// depth-1 elements. depth <= 1 issues and awaits strictly element by element.
+func MapAsync[T, F, U any](inner Cursor[T], depth int, issue func(T) F, await func(T, F) (U, error)) Cursor[U] {
+	if depth < 1 {
+		depth = 1
 	}
-	return &pipelinedCursor[T, U]{inner: inner, depth: depth, f: f}
+	return &asyncCursor[T, F, U]{inner: inner, depth: depth, issue: issue, await: await}
 }
 
-// pipeSlot is one in-flight application of f. The worker writes v/err and
-// closes done; the consumer reads them only after <-done.
-type pipeSlot[U any] struct {
-	done chan struct{}
-	v    U
-	err  error
-	cont []byte
+// asyncSlot is one issued-but-unawaited element.
+type asyncSlot[T, F any] struct {
+	src    T
+	handle F
+	cont   []byte
 }
 
-type pipelinedCursor[T, U any] struct {
+type asyncCursor[T, F, U any] struct {
 	inner   Cursor[T]
 	depth   int
-	f       func(T) (U, error)
-	queue   []*pipeSlot[U] // FIFO of in-flight slots, source order
-	srcHalt *Result[U]     // halt from the source, delivered after the queue drains
-	srcErr  error          // error from the source, surfaced after the queue drains
-	err     error          // sticky: an error already returned to the consumer
+	issue   func(T) F
+	await   func(T, F) (U, error)
+	queue   []asyncSlot[T, F] // issued elements, source order; queue[head:] live
+	head    int
+	srcHalt *Result[U] // halt from the source, delivered after the queue drains
+	srcErr  error      // error from the source, surfaced after the queue drains
+	err     error      // sticky: an error already returned to the consumer
 }
 
-func (c *pipelinedCursor[T, U]) Next() (Result[U], error) {
+func (c *asyncCursor[T, F, U]) Next() (Result[U], error) {
 	if c.err != nil {
 		return Result[U]{}, c.err
 	}
-	// Keep the in-flight window full until the source stops.
-	for c.srcHalt == nil && c.srcErr == nil && len(c.queue) < c.depth {
+	// Keep the issue window full until the source stops.
+	for c.srcHalt == nil && c.srcErr == nil && len(c.queue)-c.head < c.depth {
 		r, err := c.inner.Next()
 		if err != nil {
 			c.srcErr = err
@@ -57,26 +58,25 @@ func (c *pipelinedCursor[T, U]) Next() (Result[U], error) {
 			c.srcHalt = &h
 			break
 		}
-		s := &pipeSlot[U]{done: make(chan struct{}), cont: r.Continuation}
-		go func(v T) {
-			s.v, s.err = c.f(v)
-			close(s.done)
-		}(r.Value)
-		c.queue = append(c.queue, s)
+		c.queue = append(c.queue, asyncSlot[T, F]{src: r.Value, handle: c.issue(r.Value), cont: r.Continuation})
 	}
-	if len(c.queue) == 0 {
+	if c.head >= len(c.queue) {
 		if c.srcErr != nil {
 			c.err = c.srcErr
 			return Result[U]{}, c.err
 		}
 		return *c.srcHalt, nil
 	}
-	s := c.queue[0]
-	c.queue = c.queue[1:]
-	<-s.done
-	if s.err != nil {
-		c.err = s.err
+	s := c.queue[c.head]
+	c.queue[c.head] = asyncSlot[T, F]{} // release references
+	c.head++
+	if c.head == len(c.queue) {
+		c.queue, c.head = c.queue[:0], 0 // reuse the backing array
+	}
+	v, err := c.await(s.src, s.handle)
+	if err != nil {
+		c.err = err
 		return Result[U]{}, c.err
 	}
-	return Result[U]{Value: s.v, OK: true, Continuation: s.cont}, nil
+	return Result[U]{Value: v, OK: true, Continuation: s.cont}, nil
 }

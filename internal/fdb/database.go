@@ -13,6 +13,7 @@ package fdb
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,6 +66,34 @@ type Options struct {
 	// Sleep performs the backoff delay; tests inject a no-op or recorder.
 	// Defaults to time.Sleep.
 	Sleep func(time.Duration)
+	// Latency models per-read I/O latency (§8): every read — sync or async —
+	// completes a read-cost after it was issued, and reads issued before
+	// awaiting overlap within one window. The zero value keeps reads instant,
+	// so existing callers and tests are unaffected.
+	Latency LatencyModel
+}
+
+// LatencyModel prices simulated read I/O: a fixed per-read cost (the network
+// round trip) plus a per-KB cost on the key+value bytes returned (the
+// transfer). A whole range-read batch pays one PerRead, which is what makes
+// batched range scans cheaper than N point reads under the model.
+type LatencyModel struct {
+	PerRead time.Duration
+	PerKB   time.Duration
+	// Virtual runs the latency clock as a deterministic in-process virtual
+	// clock: awaiting a future advances the clock to the read's ready time
+	// instead of sleeping, so tests assert exact window counts (via
+	// TxnStats.SimWaitNanos) without wall-clock time passing. The
+	// transaction *timeout* clock (Options.Clock) is unaffected.
+	Virtual bool
+}
+
+// Enabled reports whether the model charges any latency at all.
+func (m LatencyModel) Enabled() bool { return m.PerRead > 0 || m.PerKB > 0 }
+
+// readCost prices one read returning nbytes of key+value data.
+func (m LatencyModel) readCost(nbytes int) time.Duration {
+	return m.PerRead + time.Duration(nbytes)*m.PerKB/1024
 }
 
 // DefaultRetryLimit is the retry cap applied when Options.RetryLimit is 0.
@@ -91,6 +120,10 @@ type Database struct {
 	floor   int64           // newest version evicted from the resolver window
 	history []versionedRoot // ascending by version; snapshot history
 	metrics Metrics
+
+	// vclock is the virtual latency clock (nanos) when Latency.Virtual is
+	// set: awaits advance it monotonically instead of sleeping.
+	vclock atomic.Int64
 }
 
 // Open creates an empty simulated database. A nil opts uses defaults.
@@ -131,6 +164,43 @@ func Open(opts *Options) *Database {
 
 // Metrics returns cumulative database-level counters.
 func (d *Database) Metrics() *Metrics { return &d.metrics }
+
+// simNow reads the latency clock: the virtual clock in virtual mode, the
+// wall clock otherwise.
+func (d *Database) simNow() int64 {
+	if d.opts.Latency.Virtual {
+		return d.vclock.Load()
+	}
+	return d.opts.Clock().UnixNano()
+}
+
+// LatencyNow exposes the latency clock's current reading (nanos) so tests
+// and experiments can measure simulated elapsed time under the virtual clock.
+func (d *Database) LatencyNow() int64 { return d.simNow() }
+
+// waitUntil blocks until the latency clock reaches ready, returning the nanos
+// actually waited. In virtual mode the clock jumps forward instead of
+// sleeping; a ready time already in the past (an overlapped read) costs
+// nothing either way.
+func (d *Database) waitUntil(ready int64) int64 {
+	if d.opts.Latency.Virtual {
+		for {
+			now := d.vclock.Load()
+			if now >= ready {
+				return 0
+			}
+			if d.vclock.CompareAndSwap(now, ready) {
+				return ready - now
+			}
+		}
+	}
+	now := d.opts.Clock().UnixNano()
+	if ready <= now {
+		return 0
+	}
+	time.Sleep(time.Duration(ready - now))
+	return ready - now
+}
 
 // ReadVersion returns the latest committed version (the GRV result).
 func (d *Database) ReadVersion() int64 {

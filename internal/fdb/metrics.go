@@ -27,6 +27,12 @@ type Metrics struct {
 	BytesRead    Counter
 	KeysWritten  Counter
 	BytesWritten Counter
+
+	// SimWaitNanos totals time spent awaiting simulated read latency across
+	// all transactions (zero when no latency model is configured). Overlapped
+	// reads wait once per window, so this divided by read count falls as
+	// pipelining improves.
+	SimWaitNanos Counter
 }
 
 // TxnStats captures the I/O performed by a single transaction. The Record
@@ -43,4 +49,15 @@ type TxnStats struct {
 	// substrate's individual writes (rank skip lists, bunched text maps)
 	// meter them from a before/after delta of Mutations and Size.
 	Mutations int
+
+	// SimWaitNanos is the time this transaction spent awaiting simulated
+	// read latency (Options.Latency). K overlapped reads cost ~1 window here;
+	// K sequential reads cost K windows — the observable proof of §8's
+	// asynchronous pipelining.
+	SimWaitNanos int64
+	// InFlightHighWater is the most reads simultaneously unresolved per the
+	// latency clock (issued, ready time not yet reached) — the overlap depth
+	// actually achieved. Zero when no latency model is configured (instant
+	// reads are not tracked).
+	InFlightHighWater int
 }

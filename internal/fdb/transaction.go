@@ -102,6 +102,11 @@ type txnState struct {
 	readConflicts  rangeSet
 	writeConflicts rangeSet
 
+	// outstanding holds the ready times of reads still in flight per the
+	// latency clock (latency model only): entries at or before the clock are
+	// dropped at the next issue, so abandoned futures age out naturally.
+	outstanding []int64
+
 	stats     TxnStats
 	committed bool
 	canceled  bool
@@ -185,19 +190,99 @@ func (t *Transaction) Snapshot() Snapshot { return Snapshot{t} }
 type Snapshot struct{ t *Transaction }
 
 // Get reads a key at snapshot isolation.
-func (s Snapshot) Get(key []byte) ([]byte, error) { return s.t.get(key, true) }
+func (s Snapshot) Get(key []byte) ([]byte, error) { return s.t.syncGet(key, true) }
+
+// GetAsync issues a snapshot single-key read as a future.
+func (s Snapshot) GetAsync(key []byte) *FutureValue { return s.t.getAsync(key, true) }
 
 // GetRange reads a range at snapshot isolation.
 func (s Snapshot) GetRange(begin, end []byte, o RangeOptions) ([]KeyValue, bool, error) {
-	return s.t.getRange(begin, end, o, true)
+	return s.t.syncGetRange(begin, end, o, true)
+}
+
+// GetRangeAsync issues a snapshot range read as a future.
+func (s Snapshot) GetRangeAsync(begin, end []byte, o RangeOptions) *FutureRange {
+	return s.t.getRangeAsync(begin, end, o, true)
 }
 
 // Get reads a key with full serializable isolation.
-func (t *Transaction) Get(key []byte) ([]byte, error) { return t.get(key, false) }
+func (t *Transaction) Get(key []byte) ([]byte, error) { return t.syncGet(key, false) }
 
-func (t *Transaction) get(key []byte, snapshot bool) ([]byte, error) {
+// syncGet is issue-plus-await without materializing a future, keeping the
+// synchronous read path allocation-free.
+func (t *Transaction) syncGet(key []byte, snapshot bool) ([]byte, error) {
+	t.mu.Lock()
+	val, err := t.getLocked(key, snapshot)
+	var ready int64
+	if err == nil {
+		ready = t.issueLocked(len(key) + len(val))
+	}
+	t.mu.Unlock()
+	t.awaitRead(ready)
+	return val, err
+}
+
+// GetAsync issues a single-key read and returns a future for its result. The
+// read's data (and its conflict range and accounting) is established now;
+// only the simulated latency wait is deferred to Get. Issue many, then await:
+// concurrent futures resolve within one latency window (§8).
+func (t *Transaction) GetAsync(key []byte) *FutureValue { return t.getAsync(key, false) }
+
+func (t *Transaction) getAsync(key []byte, snapshot bool) *FutureValue {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	f := &FutureValue{fut: fut{t: t}}
+	f.value, f.err = t.getLocked(key, snapshot)
+	if f.err == nil {
+		f.ready = t.issueLocked(len(key) + len(f.value))
+	}
+	return f
+}
+
+// issueLocked registers one read with the latency model, returning the
+// latency-clock time at which it completes (0 when latency is off, keeping
+// the instant-read hot path free of clock reads and in-flight bookkeeping).
+// In-flight tracking is by ready time: reads the clock has passed are retired
+// here, so futures abandoned without an await age out instead of inflating
+// the high-water mark.
+func (t *Transaction) issueLocked(nbytes int) int64 {
+	m := t.db.opts.Latency
+	if !m.Enabled() {
+		return 0
+	}
+	now := t.db.simNow()
+	ready := now + int64(m.readCost(nbytes))
+	live := t.outstanding[:0]
+	for _, r := range t.outstanding {
+		if r > now {
+			live = append(live, r)
+		}
+	}
+	t.outstanding = append(live, ready)
+	if len(t.outstanding) > t.stats.InFlightHighWater {
+		t.stats.InFlightHighWater = len(t.outstanding)
+	}
+	return ready
+}
+
+// awaitRead waits out a read issued at issueLocked, charging any actual wait
+// to the transaction and database counters. ready == 0 means no latency
+// model; repeated awaits of the same ready time cost nothing extra.
+func (t *Transaction) awaitRead(ready int64) {
+	if ready == 0 {
+		return
+	}
+	waited := t.db.waitUntil(ready)
+	if waited == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.stats.SimWaitNanos += waited
+	t.mu.Unlock()
+	t.db.metrics.SimWaitNanos.Add(waited)
+}
+
+func (t *Transaction) getLocked(key []byte, snapshot bool) ([]byte, error) {
 	if err := t.checkUsable(); err != nil {
 		return nil, err
 	}
@@ -257,21 +342,55 @@ func (t *Transaction) countRead(key, val []byte) {
 // second result reports whether more data remained when a limit stopped the
 // scan early.
 func (t *Transaction) GetRange(begin, end []byte, o RangeOptions) ([]KeyValue, bool, error) {
-	return t.getRange(begin, end, o, false)
+	return t.syncGetRange(begin, end, o, false)
 }
 
-func (t *Transaction) getRange(begin, end []byte, o RangeOptions, snapshot bool) ([]KeyValue, bool, error) {
+// syncGetRange is issue-plus-await without materializing a future.
+func (t *Transaction) syncGetRange(begin, end []byte, o RangeOptions, snapshot bool) ([]KeyValue, bool, error) {
+	t.mu.Lock()
+	kvs, more, nbytes, err := t.getRangeLocked(begin, end, o, snapshot)
+	var ready int64
+	if err == nil {
+		ready = t.issueLocked(nbytes)
+	}
+	t.mu.Unlock()
+	t.awaitRead(ready)
+	return kvs, more, err
+}
+
+// GetRangeAsync issues a range read as a future: the batch's data, conflict
+// range and accounting are established now, and only the simulated latency
+// wait is deferred to Get. A whole batch pays one per-read latency cost, so
+// range reads issued ahead (kvcursor read-ahead, pipelined record fetches)
+// overlap their windows with consumption.
+func (t *Transaction) GetRangeAsync(begin, end []byte, o RangeOptions) *FutureRange {
+	return t.getRangeAsync(begin, end, o, false)
+}
+
+func (t *Transaction) getRangeAsync(begin, end []byte, o RangeOptions, snapshot bool) *FutureRange {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	f := &FutureRange{fut: fut{t: t}}
+	var nbytes int
+	f.kvs, f.more, nbytes, f.err = t.getRangeLocked(begin, end, o, snapshot)
+	if f.err == nil {
+		f.ready = t.issueLocked(nbytes)
+	}
+	return f
+}
+
+// getRangeLocked performs the range read, additionally returning the total
+// key+value bytes delivered (the latency model's transfer size).
+func (t *Transaction) getRangeLocked(begin, end []byte, o RangeOptions, snapshot bool) ([]KeyValue, bool, int, error) {
 	if err := t.checkUsable(); err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	if bytes.Compare(begin, end) >= 0 {
-		return nil, false, nil
+		return nil, false, 0, nil
 	}
 	t.init()
 	if err := t.ensureSnapshot(); err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 
 	bufKeys := t.bufferedKeysIn(begin, end, o.Reverse)
@@ -395,7 +514,7 @@ func (t *Transaction) getRange(begin, end []byte, o RangeOptions, snapshot bool)
 		}
 		t.readConflicts.Add(cb, ce)
 	}
-	return out, more, nil
+	return out, more, byteCount, nil
 }
 
 // bufferedKeysIn returns sorted buffer keys within [begin, end).

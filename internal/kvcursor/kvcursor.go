@@ -34,6 +34,22 @@ type Options struct {
 	// MaxBatchSize caps the batch growth (default 4096). Set it equal to
 	// BatchSize to disable growth.
 	MaxBatchSize int
+	// NoReadAhead disables speculative prefetch of the next batch. By default
+	// the cursor issues the following batch's range read as a future the
+	// moment the current batch arrives, so the next fill's I/O latency
+	// overlaps with draining the buffer (§8). For a transaction that does not
+	// write into the unscanned remainder of the range mid-scan — every scan
+	// in the layer — results are byte-identical either way; a transaction
+	// that does write ahead of the cursor sees those writes one batch later
+	// than a sequential scan would (futures resolve at issue; note that
+	// sequential scans already miss writes landing inside their buffered
+	// batch, so same-range RYW mid-scan has always been batch-granular).
+	// Read-ahead also makes the footprint eager: the prefetched batch is read
+	// (conflict-ranged and counted in TxnStats) even if the consumer halts
+	// inside the current one, though prefetched-but-unconsumed batches are
+	// never metered to the tenant. Set NoReadAhead when exact footprint or
+	// tightest-possible RYW matters more than batch-boundary latency.
+	NoReadAhead bool
 }
 
 // Default batch sizing: start small so point-ish scans stay cheap, grow
@@ -54,6 +70,7 @@ type kvCursor struct {
 	started    bool
 	lastKey    []byte
 	halted     *cursor.Result[fdb.KeyValue]
+	pending    *fdb.FutureRange // read-ahead: the next batch, already issued
 }
 
 // New creates a cursor over [begin, end).
@@ -80,15 +97,26 @@ func New(tr *fdb.Transaction, begin, end []byte, opts Options) cursor.Cursor[fdb
 	return c
 }
 
-func (c *kvCursor) fill() error {
+// issueBatch starts the range read for the next batch over the current
+// bounds. The future's data resolves at issue, so the cursor is free to
+// advance its begin/end buffers afterwards.
+func (c *kvCursor) issueBatch() *fdb.FutureRange {
 	ro := fdb.RangeOptions{Limit: c.batch, Reverse: c.opts.Reverse}
+	if c.opts.Snapshot {
+		return c.tr.Snapshot().GetRangeAsync(c.begin, c.end, ro)
+	}
+	return c.tr.GetRangeAsync(c.begin, c.end, ro)
+}
+
+func (c *kvCursor) fill() error {
 	var kvs []fdb.KeyValue
 	var more bool
 	var err error
-	if c.opts.Snapshot {
-		kvs, more, err = c.tr.Snapshot().GetRange(c.begin, c.end, ro)
+	if c.pending != nil {
+		kvs, more, err = c.pending.Get()
+		c.pending = nil
 	} else {
-		kvs, more, err = c.tr.GetRange(c.begin, c.end, ro)
+		kvs, more, err = c.issueBatch().Get()
 	}
 	if err != nil {
 		return err
@@ -120,6 +148,11 @@ func (c *kvCursor) fill() error {
 		if c.batch > c.opts.MaxBatchSize {
 			c.batch = c.opts.MaxBatchSize
 		}
+	}
+	if more && !c.opts.NoReadAhead {
+		// Issue the next batch now: its latency window elapses while the
+		// consumer drains the batch just delivered.
+		c.pending = c.issueBatch()
 	}
 	return nil
 }

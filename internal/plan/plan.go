@@ -27,6 +27,8 @@ type ExecuteOptions struct {
 	// PipelineDepth is how many record fetches an index scan keeps in flight
 	// (§8's asynchronous pipelining); <= 1 fetches sequentially.
 	PipelineDepth int
+	// NoReadAhead disables the scans' next-batch prefetch.
+	NoReadAhead bool
 }
 
 // Plan is an executable query plan. Plans are immutable and reusable across
@@ -92,6 +94,7 @@ func (p *FullScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curso
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
 		Snapshot:     opts.Snapshot,
+		NoReadAhead:  opts.NoReadAhead,
 	})
 	if len(p.Types) == 0 {
 		return c, nil
@@ -138,6 +141,7 @@ func (p *IndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curs
 		Limiter:      opts.Limiter,
 		Continuation: opts.Continuation,
 		Snapshot:     opts.Snapshot,
+		NoReadAhead:  opts.NoReadAhead,
 	})
 	if err != nil {
 		return nil, err

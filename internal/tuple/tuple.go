@@ -109,6 +109,18 @@ func (t Tuple) Pack() []byte {
 	return b
 }
 
+// PackInto encodes the tuple appending to buf (usually buf[:0] of a recycled
+// slice), growing it as needed, and returns the extended slice. Panics on
+// unsupported element types, like Pack. Hot write paths use it with pooled
+// buffers so envelope packing stops allocating per record.
+func (t Tuple) PackInto(buf []byte) []byte {
+	b, err := t.packInto(buf, nil)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // packedCap returns an upper bound on the packed encoding size, so Pack can
 // allocate its buffer once instead of growing it through repeated appends —
 // packing sits on every key construction in the layer.

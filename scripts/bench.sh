@@ -1,39 +1,60 @@
 #!/usr/bin/env bash
-# Runs the query hot-path benchmarks with -benchmem and writes BENCH_4.json:
-# ns/op, B/op, allocs/op, and simulator reads per op for the covering vs
-# fetching planned query, the pipelined index scan, record loads, and tuple
-# packing. The committed BENCH_4.json is the baseline future PRs compare
-# against; CI regenerates and uploads a fresh one per run.
+# Runs the hot-path benchmarks twice — instant reads, then a 100µs-per-read
+# simulated I/O latency profile — and writes BENCH_5.json with ns/op, B/op,
+# allocs/op, simulator reads per op, and simulated I/O wait per op. The
+# committed BENCH_5.json is the baseline future PRs compare against; CI
+# regenerates and uploads a fresh one per run and prints a comparison table
+# against the committed BENCH_4.json baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
+pat='BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkSaveRecord|BenchmarkTuplePack'
 
-raw=$(go test -run '^$' \
-  -bench 'BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkTuplePack' \
-  -benchmem .)
-echo "$raw"
+echo "=== zero-latency suite ==="
+raw0=$(go test -run '^$' -bench "$pat" -benchmem .)
+echo "$raw0"
 
-echo "$raw" | awk -v out="$out" '
+echo "=== 100µs-per-read latency suite ==="
+raw1=$(go test -run '^$' -bench "$pat" -benchmem . -args -latency 100us)
+echo "$raw1"
+
+# parse renders one suite's benchmark lines as comma-separated JSON records.
+parse() {
+  echo "$1" | awk '
 /^Benchmark/ {
   name=$1; iters=$2; ns=$3
-  bop=""; aop=""; sim=""
+  bop=""; aop=""; sim=""; wait=""
   for (i=4; i<=NF; i++) {
     if ($i=="B/op") bop=$(i-1)
     if ($i=="allocs/op") aop=$(i-1)
     if ($i=="simreads/op") sim=$(i-1)
+    if ($i=="simwait-ns/op") wait=$(i-1)
   }
   rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
   if (bop != "") rec = rec sprintf(", \"bytes_per_op\": %s", bop)
   if (aop != "") rec = rec sprintf(", \"allocs_per_op\": %s", aop)
   if (sim != "") rec = rec sprintf(", \"simreads_per_op\": %s", sim)
+  if (wait != "") rec = rec sprintf(", \"simwait_ns_per_op\": %s", wait)
   recs[n++] = rec "}"
 }
 END {
-  print "{" > out
-  print "  \"suite\": \"query hot path: covering index plans + pipelined record fetches\"," >> out
-  print "  \"benchmarks\": [" >> out
-  for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n-1 ? "," : "") >> out
-  print "  ]" >> out
-  print "}" >> out
+  for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n-1 ? "," : "")
 }'
+}
+
+{
+  echo '{'
+  echo '  "suite": "async futures + simulated I/O latency: read/write overlap end-to-end",'
+  echo '  "benchmarks": ['
+  parse "$raw0"
+  echo '  ],'
+  echo '  "latency_100us": ['
+  parse "$raw1"
+  echo '  ]'
+  echo '}'
+} > "$out"
 echo "wrote $out"
+
+if [ -f BENCH_4.json ]; then
+  go run ./scripts/benchcmp -old BENCH_4.json -new "$out"
+fi

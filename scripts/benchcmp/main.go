@@ -1,0 +1,96 @@
+// Command benchcmp prints a comparison table between two bench JSON files
+// produced by scripts/bench.sh (or the older single-suite format), plus the
+// pipelining headlines of the new file's latency suite. CI runs it so every
+// job log shows the perf trajectory against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchmark struct {
+	Name          string  `json:"name"`
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	SimreadsPerOp float64 `json:"simreads_per_op"`
+	SimwaitPerOp  float64 `json:"simwait_ns_per_op"`
+}
+
+type benchFile struct {
+	Suite        string      `json:"suite"`
+	Benchmarks   []benchmark `json:"benchmarks"`
+	Latency100us []benchmark `json:"latency_100us"`
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+func find(bs []benchmark, name string) *benchmark {
+	for i := range bs {
+		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_4.json", "baseline bench JSON")
+	newPath := flag.String("new", "BENCH_5.json", "candidate bench JSON")
+	flag.Parse()
+	oldF, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+	newF, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n=== zero-latency suite: %s vs %s ===\n", *newPath, *oldPath)
+	fmt.Printf("%-38s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, nb := range newF.Benchmarks {
+		ob := find(oldF.Benchmarks, nb.Name)
+		if ob == nil {
+			fmt.Printf("%-38s %14s %14.0f %9s %12s %12.0f\n", nb.Name, "-", nb.NsPerOp, "new", "-", nb.AllocsPerOp)
+			continue
+		}
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		fmt.Printf("%-38s %14.0f %14.0f %+8.1f%% %12.0f %12.0f\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+
+	if len(newF.Latency100us) > 0 {
+		fmt.Printf("\n=== 100µs-per-read latency suite (%s) ===\n", *newPath)
+		fmt.Printf("%-38s %14s %16s %12s\n", "benchmark", "ns/op", "simwait-ns/op", "simreads/op")
+		for _, nb := range newF.Latency100us {
+			fmt.Printf("%-38s %14.0f %16.0f %12.1f\n", nb.Name, nb.NsPerOp, nb.SimwaitPerOp, nb.SimreadsPerOp)
+		}
+		d1 := find(newF.Latency100us, "BenchmarkIndexScan/depth1")
+		d8 := find(newF.Latency100us, "BenchmarkIndexScan/depth8")
+		if d1 != nil && d8 != nil && d8.NsPerOp > 0 {
+			fmt.Printf("\npipelining: depth8 is %.1fx faster than depth1 under 100µs/read\n", d1.NsPerOp/d8.NsPerOp)
+		}
+		l := find(newF.Latency100us, "BenchmarkSaveRecords/loop50")
+		b := find(newF.Latency100us, "BenchmarkSaveRecords/batch50")
+		if l != nil && b != nil && b.SimwaitPerOp > 0 {
+			fmt.Printf("batched saves: %.1fx less simulated wait than 50 sequential saves\n", l.SimwaitPerOp/b.SimwaitPerOp)
+		}
+	}
+}

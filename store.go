@@ -194,6 +194,7 @@ func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProp
 		Limiter:       props.limiter(ctx),
 		Snapshot:      props.Snapshot,
 		PipelineDepth: props.pipelineDepth(),
+		NoReadAhead:   props.NoReadAhead,
 	})
 	if err != nil {
 		return nil, err
