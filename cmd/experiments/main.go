@@ -159,6 +159,7 @@ func runNoisyNeighbor(w io.Writer, short bool) error {
 	printPhase(stats.Governed)
 	printPhase(stats.ByteHog)
 	printPhase(stats.Persisted)
+	printPhase(stats.Distributed)
 	printPhase(stats.BgIndex)
 
 	ratio := func(p workload.NoisyPhase) float64 {
@@ -190,6 +191,14 @@ func runNoisyNeighbor(w io.Writer, short bool) error {
 		float64(stats.ByteBudget)/(1<<20), stats.ByteCapped)
 	fmt.Fprintf(w, "  persisted limits: two governors loaded one LimitsStore, consistent: %v\n",
 		stats.SharedLimitsConsistent)
+	// The distributed phase stores the FULL global quota once; quota leases
+	// split it across three governors at runtime.
+	fmt.Fprintf(w, "  distributed (3 lease-coordinated governors): aggressor %d txns (global cap %.0f), %.2f MB (global budget %.2f MB, capped: %v)\n",
+		aggressor(stats.Distributed).Txns, stats.DistributedCap,
+		float64(aggressor(stats.Distributed).Bytes)/(1<<20),
+		float64(stats.DistributedByteBudget)/(1<<20), stats.DistributedByteCapped)
+	fmt.Fprintf(w, "  lease slices summed <= global limit on every sample: %v; metering export matched accountants: %v\n",
+		stats.LeaseSliceSumOK, stats.ExportConsistent)
 	if stats.Isolated {
 		fmt.Fprintln(w, "  ISOLATION HELD: governed victims within 2x of aggressor-free baseline")
 	} else {

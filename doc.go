@@ -200,6 +200,54 @@
 // The noisy-neighbor experiment (cmd/experiments -run nn; -short is the CI
 // smoke gate) measures the isolation all of this buys.
 //
+// # Distributed governance and metering export
+//
+// A shared limits table alone still over-grants: every server refills the
+// full TxnPerSecond for itself, so a tenant spraying N servers gets N× its
+// budget. Quota leases close that gap. Each server runs a QuotaLeaseManager
+// whose heartbeat claims a time-bounded slice of every rate-limited tenant's
+// global budget as a lease row in the reserved keyspace
+// ("/__system__/limits/leases", keyed tenant then server):
+//
+//	mgr := recordlayer.NewQuotaLeaseManager(gov, db, recordlayer.QuotaLeaseOptions{
+//		Server: hostID, TTL: 10 * time.Second,
+//	})
+//	go mgr.Run(ctx, 2*time.Second) // reload limits + renew leases; Close releases
+//
+// The lease lifecycle: a claim reads the tenant's whole lease range in one
+// serializable transaction (so concurrent claimers conflict rather than
+// double-grant), reclaims any row whose TTL has lapsed — a crashed server's
+// slice returns to the pool within one TTL, no coordinator involved — and
+// writes its own row with a fresh expiry. The governor's bucket then refills
+// from the held slice, not the global rate, and a heartbeat renewal never
+// refreshes a drained bucket's balance.
+//
+// The rebalance policy is demand-proportional: each row publishes the demand
+// its server measured over the last window (admission attempts per second;
+// quota rejections bid for double the current slice so a throttled server
+// grows multiplicatively). A claim targets global×own/(own+peers), split
+// equally when nobody reports demand, floored at 5% of the global rate so an
+// idle server can serve its first request without a round trip, and capped
+// at whatever the live peers have not claimed — the slice sum never exceeds
+// the global budget, so the cluster-wide grant stays single. Hot servers
+// converge toward the whole budget in a few heartbeats; idle slices decay to
+// the floor and return to the pool.
+//
+// The export side turns the Accountant into billing-grade records. A
+// UsageExporter (NewUsageExporter) periodically writes each tenant's
+// consumption delta since the last export as a versionstamped row in the
+// reserved metering directory ("/__system__/metering", keyed tenant then
+// commit versionstamp, so windows from any number of servers interleave
+// without coordination). MeteringStore.Report aggregates the windows into
+// per-tenant totals plus a cross-tenant sum, and `rl usage` prints that
+// report: one row per tenant — transactions, reads, read bytes/records,
+// writes, write bytes/records, conflicts, throttles — then the cross-tenant
+// TOTAL row, i.e. the MTBase-style aggregation query over all tenants'
+// metering data. The distributed noisy-neighbor phase (cmd/experiments -run
+// nn) runs three lease-coordinated governors against one aggressor and
+// asserts it stays within ~1.1× its global cap while the exported windows
+// reconcile exactly with the live accountants.
+//
 // The implementation lives under internal/: the FoundationDB simulator
 // (internal/fdb), the tuple, subspace, directory and keyspace layers, a
 // dynamic protobuf (internal/message), schema management

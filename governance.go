@@ -8,6 +8,8 @@ import (
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/keyspace"
 	"recordlayer/internal/resource"
+	"recordlayer/internal/resource/lease"
+	"recordlayer/internal/subspace"
 )
 
 // Resource governance (§1, §5: one cluster, millions of tenant stores).
@@ -122,23 +124,92 @@ func WithPriority(ctx context.Context, p Priority) context.Context {
 // application keyspaces; applications must not place data beneath it.
 const limitsDirName = "__system__"
 
+// systemSubspace compiles the reserved system directory "/__system__/<child>"
+// (constant keyspace directories, so it needs no transaction).
+func systemSubspace(child string) subspace.Subspace {
+	ks, err := keyspace.New(nil,
+		keyspace.NewConstant(limitsDirName, limitsDirName).Add(
+			keyspace.NewConstant(child, child)))
+	if err != nil {
+		panic(err) // static constant tree; cannot fail
+	}
+	space, err := ks.MustPath(limitsDirName).MustAdd(child).ToSubspaceStatic()
+	if err != nil {
+		panic(err)
+	}
+	return space
+}
+
 // NewLimitsStore opens the cluster's reserved tenant-limits directory
 // ("/__system__/limits", constant keyspace directories, so it compiles
 // without a transaction). Every server sharing db sees the same table:
 // write quotas with LimitsStore.Set (e.g. from `rl tenants set-limits`) and
 // apply them with Governor.LoadLimits or a WatchLimits refresh loop.
 func NewLimitsStore(db *fdb.Database) *LimitsStore {
-	ks, err := keyspace.New(nil,
-		keyspace.NewConstant(limitsDirName, limitsDirName).Add(
-			keyspace.NewConstant("limits", "limits")))
-	if err != nil {
-		panic(err) // static constant tree; cannot fail
-	}
-	space, err := ks.MustPath(limitsDirName).MustAdd("limits").ToSubspaceStatic()
-	if err != nil {
-		panic(err)
-	}
-	return resource.NewLimitsStore(db, space)
+	return resource.NewLimitsStore(db, systemSubspace("limits"))
+}
+
+// QuotaLeaseStore reads and writes distributed quota-lease rows; see
+// internal/resource/lease.
+type QuotaLeaseStore = lease.Store
+
+// QuotaLeaseManager runs one server's side of the distributed quota
+// protocol; see internal/resource/lease.
+type QuotaLeaseManager = lease.Manager
+
+// QuotaLeaseOptions configures a QuotaLeaseManager.
+type QuotaLeaseOptions = lease.Options
+
+// QuotaLeaseSlice is one server's held portion of a tenant's global budget.
+type QuotaLeaseSlice = lease.Slice
+
+// NewQuotaLeaseStore opens the cluster's reserved quota-lease rows, nested
+// under the limits directory ("/__system__/limits/leases") so LimitsStore
+// scans tolerate them as siblings.
+func NewQuotaLeaseStore(db *fdb.Database) *QuotaLeaseStore {
+	return lease.NewStore(db, systemSubspace("limits").Sub("leases"))
+}
+
+// NewQuotaLeaseManager wires distributed quota leases into gov: each
+// Refresh (or Run heartbeat) reloads the persisted limits table and claims a
+// demand-sized, time-bounded slice of every rate-limited tenant's global
+// budget, so N servers sharing one database grant each tenant its quota once
+// cluster-wide instead of N times. Use instead of Governor.WatchLimits when
+// more than one server governs the same tenants:
+//
+//	mgr := recordlayer.NewQuotaLeaseManager(gov, db, recordlayer.QuotaLeaseOptions{Server: hostID})
+//	go mgr.Run(ctx, 2*time.Second)
+func NewQuotaLeaseManager(gov *Governor, db *fdb.Database, opts QuotaLeaseOptions) *QuotaLeaseManager {
+	return lease.NewManager(gov, NewLimitsStore(db), NewQuotaLeaseStore(db), opts)
+}
+
+// MeteringStore persists per-tenant usage windows for billing-grade export;
+// see internal/resource.
+type MeteringStore = resource.MeteringStore
+
+// UsageWindow is one persisted metering row: what one server observed one
+// tenant consume during one export window.
+type UsageWindow = resource.WindowRecord
+
+// UsageExporter periodically appends an Accountant's per-tenant consumption
+// deltas to a MeteringStore; see internal/resource.
+type UsageExporter = resource.UsageExporter
+
+// NewMeteringStore opens the cluster's reserved usage-metering directory
+// ("/__system__/metering"). Every server's UsageExporter appends its windows
+// here; MeteringStore.Report aggregates them per tenant and cross-tenant
+// (the `rl usage` command prints it).
+func NewMeteringStore(db *fdb.Database) *MeteringStore {
+	return resource.NewMeteringStore(db, systemSubspace("metering"))
+}
+
+// NewUsageExporter creates an exporter publishing acct's per-tenant deltas
+// into db's metering directory under the given server identity:
+//
+//	exp := recordlayer.NewUsageExporter(acct, db, hostID)
+//	go exp.Run(ctx, 30*time.Second)
+func NewUsageExporter(acct *Accountant, db *fdb.Database, server string) *UsageExporter {
+	return resource.NewUsageExporter(acct, NewMeteringStore(db), server, nil)
 }
 
 // PaceFromGovernor adapts gov into an OnlineIndexer.Pace hook: each batch

@@ -112,6 +112,20 @@ func (s *Store) SaveRecords(msgs []*message.Message) ([]*StoredRecord, error) {
 	if len(msgs) == 0 {
 		return nil, nil
 	}
+	if !s.tr.LatencyEnabled() {
+		// At zero latency the prefetch pipeline buys nothing: every future
+		// resolves instantly, so the per-item future slots and the dedup map
+		// are pure bookkeeping overhead. The loop is semantically identical.
+		out := make([]*StoredRecord, len(msgs))
+		for i, msg := range msgs {
+			rec, err := s.SaveRecord(msg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rec
+		}
+		return out, nil
+	}
 	type pending struct {
 		rt   *metadata.RecordType
 		pk   tuple.Tuple

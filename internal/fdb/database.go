@@ -73,13 +73,25 @@ type Options struct {
 	Latency LatencyModel
 }
 
-// LatencyModel prices simulated read I/O: a fixed per-read cost (the network
+// LatencyModel prices simulated I/O: a fixed per-read cost (the network
 // round trip) plus a per-KB cost on the key+value bytes returned (the
 // transfer). A whole range-read batch pays one PerRead, which is what makes
-// batched range scans cheaper than N point reads under the model.
+// batched range scans cheaper than N point reads under the model. PerGRV and
+// PerCommit price the transaction's bracketing round trips, so end-to-end
+// transaction cost is GRV + overlapped reads + commit rather than reads alone.
 type LatencyModel struct {
 	PerRead time.Duration
 	PerKB   time.Duration
+	// PerGRV prices the read-version acquisition: the first real GRV call a
+	// transaction performs delays every subsequent read (reads issued after
+	// it still overlap with each other, so the GRV and first read windows
+	// pipeline into one wait). SetReadVersion skips the GRV call and
+	// therefore its cost — exactly the read-version-caching win of §4.
+	PerGRV time.Duration
+	// PerCommit prices a committing commit (one with writes): the commit
+	// completes PerCommit after every issued read has resolved. Read-only
+	// commits are client-side no-ops and stay free.
+	PerCommit time.Duration
 	// Virtual runs the latency clock as a deterministic in-process virtual
 	// clock: awaiting a future advances the clock to the read's ready time
 	// instead of sleeping, so tests assert exact window counts (via
@@ -89,7 +101,9 @@ type LatencyModel struct {
 }
 
 // Enabled reports whether the model charges any latency at all.
-func (m LatencyModel) Enabled() bool { return m.PerRead > 0 || m.PerKB > 0 }
+func (m LatencyModel) Enabled() bool {
+	return m.PerRead > 0 || m.PerKB > 0 || m.PerGRV > 0 || m.PerCommit > 0
+}
 
 // readCost prices one read returning nbytes of key+value data.
 func (m LatencyModel) readCost(nbytes int) time.Duration {

@@ -244,6 +244,167 @@ func TestFuturesAcrossGoroutines(t *testing.T) {
 	}
 }
 
+// latencyDBFull opens a database pricing reads, GRV, and commits on the
+// virtual clock.
+func latencyDBFull(t *testing.T, perRead, perGRV, perCommit time.Duration) *Database {
+	t.Helper()
+	return Open(&Options{Latency: LatencyModel{
+		PerRead: perRead, PerGRV: perGRV, PerCommit: perCommit, Virtual: true}})
+}
+
+// TestGRVAndCommitPriced: end-to-end transaction cost is GRV + read + commit.
+// The GRV window pipelines with the first read (one combined wait, not two
+// stacked), and the commit window starts only after every read resolved.
+func TestGRVAndCommitPriced(t *testing.T) {
+	const perRead = time.Millisecond
+	const perGRV = 2 * time.Millisecond
+	const perCommit = 4 * time.Millisecond
+	db := latencyDBFull(t, perRead, perGRV, perCommit)
+	seedKeys(t, db, 1)
+	tr := db.CreateTransaction()
+	if _, err := tr.Get([]byte("k000")); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV+perRead) {
+		t.Errorf("read SimWaitNanos = %v, want pipelined GRV+read %v",
+			time.Duration(st.SimWaitNanos), perGRV+perRead)
+	}
+	if err := tr.Set([]byte("k000"), []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV+perRead+perCommit) {
+		t.Errorf("total SimWaitNanos = %v, want %v",
+			time.Duration(st.SimWaitNanos), perGRV+perRead+perCommit)
+	}
+}
+
+// TestGRVSharedAcrossOverlappedReads: K futures issued before any await still
+// cost one combined GRV+read window — the GRV is one round trip no matter how
+// many reads pipeline behind it.
+func TestGRVSharedAcrossOverlappedReads(t *testing.T) {
+	const perRead = time.Millisecond
+	const perGRV = 2 * time.Millisecond
+	const k = 6
+	db := latencyDBFull(t, perRead, perGRV, 0)
+	seedKeys(t, db, k)
+	tr := db.CreateTransaction()
+	futs := make([]*FutureValue, k)
+	for i := range futs {
+		futs[i] = tr.GetAsync([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	for _, f := range futs {
+		if _, err := f.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV+perRead) {
+		t.Errorf("SimWaitNanos = %v, want one GRV+read window (%v)",
+			time.Duration(st.SimWaitNanos), perGRV+perRead)
+	}
+}
+
+// TestReadVersionCachingSkipsGRV: SetReadVersion skips the GRV round trip and
+// its price — the §4 optimization the model must reward.
+func TestReadVersionCachingSkipsGRV(t *testing.T) {
+	const perRead = time.Millisecond
+	const perGRV = 2 * time.Millisecond
+	db := latencyDBFull(t, perRead, perGRV, 0)
+	seedKeys(t, db, 1)
+	rv := db.ReadVersion()
+	tr := db.CreateTransaction()
+	tr.SetReadVersion(rv)
+	if _, err := tr.Get([]byte("k000")); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perRead) {
+		t.Errorf("cached-RV SimWaitNanos = %v, want just the read (%v)",
+			time.Duration(st.SimWaitNanos), perRead)
+	}
+}
+
+// TestReadOnlyCommitFree: a read-only commit is a client-side no-op and adds
+// no commit window.
+func TestReadOnlyCommitFree(t *testing.T) {
+	const perRead = time.Millisecond
+	const perGRV = 2 * time.Millisecond
+	const perCommit = 4 * time.Millisecond
+	db := latencyDBFull(t, perRead, perGRV, perCommit)
+	seedKeys(t, db, 1)
+	tr := db.CreateTransaction()
+	if _, err := tr.Get([]byte("k000")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV+perRead) {
+		t.Errorf("read-only commit SimWaitNanos = %v, want %v (no commit window)",
+			time.Duration(st.SimWaitNanos), perGRV+perRead)
+	}
+}
+
+// TestCommitFlushesOutstandingReads: an issued-but-never-awaited future must
+// resolve before the commit round trip starts, so the commit wait covers
+// GRV + read + commit in one charge.
+func TestCommitFlushesOutstandingReads(t *testing.T) {
+	const perRead = time.Millisecond
+	const perGRV = 2 * time.Millisecond
+	const perCommit = 4 * time.Millisecond
+	db := latencyDBFull(t, perRead, perGRV, perCommit)
+	seedKeys(t, db, 1)
+	tr := db.CreateTransaction()
+	_ = tr.GetAsync([]byte("k000")) // abandoned: still in flight at commit
+	if err := tr.Set([]byte("k000"), []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV+perRead+perCommit) {
+		t.Errorf("SimWaitNanos = %v, want %v (commit waits for the in-flight read)",
+			time.Duration(st.SimWaitNanos), perGRV+perRead+perCommit)
+	}
+}
+
+// TestWriteOnlyTxnPaysGRVAndCommit: a write-only transaction performs its GRV
+// at commit (the simulator resolves conflicts against a read version), so its
+// cost is GRV + commit with no read windows.
+func TestWriteOnlyTxnPaysGRVAndCommit(t *testing.T) {
+	const perGRV = 2 * time.Millisecond
+	const perCommit = 4 * time.Millisecond
+	db := latencyDBFull(t, time.Millisecond, perGRV, perCommit)
+	tr := db.CreateTransaction()
+	if err := tr.Set([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV+perCommit) {
+		t.Errorf("SimWaitNanos = %v, want %v", time.Duration(st.SimWaitNanos), perGRV+perCommit)
+	}
+}
+
+// TestExplicitGetReadVersionWaitsGRV: GetReadVersion performs and waits out
+// the GRV round trip exactly once.
+func TestExplicitGetReadVersionWaitsGRV(t *testing.T) {
+	const perGRV = 2 * time.Millisecond
+	db := latencyDBFull(t, time.Millisecond, perGRV, 0)
+	tr := db.CreateTransaction()
+	if _, err := tr.GetReadVersion(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.GetReadVersion(); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.SimWaitNanos != int64(perGRV) {
+		t.Errorf("SimWaitNanos = %v, want one GRV window (%v)", time.Duration(st.SimWaitNanos), perGRV)
+	}
+}
+
 // TestErrorFutureNoLatency: a read that fails validation resolves instantly
 // with the error and registers no in-flight slot.
 func TestErrorFutureNoLatency(t *testing.T) {

@@ -92,6 +92,11 @@ type txnState struct {
 	readVersion int64 // -1 until GRV
 	snapRoot    *node
 	pendingRV   bool // SetReadVersion called; snapshot not yet bound
+	// grvReady is the latency-clock time the GRV round trip completes
+	// (latency model only; 0 when no real GRV has been priced). Reads issue
+	// no earlier than it, so the GRV window pipelines with the first read
+	// window instead of stacking serially with every read.
+	grvReady int64
 
 	writes         map[string]*bufEntry
 	sortedKeys     []string // cache of sorted writes keys; nil when dirty
@@ -151,22 +156,31 @@ func (t *Transaction) ensureSnapshot() error {
 	}
 	if t.readVersion < 0 {
 		t.readVersion, t.snapRoot = t.db.grv()
+		// A SetReadVersion transaction never reaches here — read-version
+		// caching skips the GRV round trip and therefore its price.
+		if m := t.db.opts.Latency; m.Enabled() && m.PerGRV > 0 {
+			t.grvReady = t.db.simNow() + int64(m.PerGRV)
+		}
 	}
 	return nil
 }
 
-// GetReadVersion returns the transaction's read version, performing the GRV
-// call if it has not happened yet.
+// GetReadVersion returns the transaction's read version, performing (and,
+// under a latency model, waiting out) the GRV call if it has not happened yet.
 func (t *Transaction) GetReadVersion() (int64, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if err := t.checkUsable(); err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
 	if err := t.ensureSnapshot(); err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
-	return t.readVersion, nil
+	v, ready := t.readVersion, t.grvReady
+	t.mu.Unlock()
+	t.awaitRead(ready)
+	return v, nil
 }
 
 // SetReadVersion supplies a cached read version, skipping the GRV call (the
@@ -251,7 +265,13 @@ func (t *Transaction) issueLocked(nbytes int) int64 {
 		return 0
 	}
 	now := t.db.simNow()
-	ready := now + int64(m.readCost(nbytes))
+	// A read cannot issue before the GRV round trip resolves; the GRV and
+	// read windows still pipeline into one wait for the first await.
+	issueAt := now
+	if t.grvReady > issueAt {
+		issueAt = t.grvReady
+	}
+	ready := issueAt + int64(m.readCost(nbytes))
 	live := t.outstanding[:0]
 	for _, r := range t.outstanding {
 		if r > now {
@@ -721,34 +741,65 @@ func (t *Transaction) AddWriteConflictRange(begin, end []byte) {
 
 // Commit validates and applies the transaction. On conflict it returns a
 // retryable not_committed error, matching optimistic concurrency control.
+// Under a latency model a committing commit waits out PerCommit after every
+// issued read has resolved; read-only commits are client-side no-ops and
+// stay free.
 func (t *Transaction) Commit() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.checkUsable(); err != nil {
+	ready, err := t.commitLocked()
+	t.mu.Unlock()
+	if err != nil {
 		return err
 	}
+	t.awaitRead(ready)
+	return nil
+}
+
+// commitLocked is Commit's body, returning the latency-clock time the commit
+// round trip completes (0 when nothing is charged). The wait happens in
+// Commit after the lock is released — awaitRead takes t.mu itself. Caller
+// holds t.mu.
+func (t *Transaction) commitLocked() (int64, error) {
+	if err := t.checkUsable(); err != nil {
+		return 0, err
+	}
 	if t.stats.Size+t.conflictRangeBytes() > t.db.opts.Limits.MaxTxnSize {
-		return errCode(CodeTransactionTooLarge, "transaction exceeds %d bytes", t.db.opts.Limits.MaxTxnSize)
+		return 0, errCode(CodeTransactionTooLarge, "transaction exceeds %d bytes", t.db.opts.Limits.MaxTxnSize)
 	}
 	if len(t.writes) == 0 && t.clears.Len() == 0 && len(t.vsKeys) == 0 && t.writeConflicts.Len() == 0 {
 		// Read-only transactions commit trivially at their read version.
 		t.committed = true
 		if err := t.ensureSnapshot(); err != nil {
-			return err
+			return 0, err
 		}
 		t.cVersion = t.readVersion
-		return nil
+		return 0, nil
 	}
 	if err := t.ensureSnapshot(); err != nil {
-		return err
+		return 0, err
 	}
 	v, err := t.db.commit(t)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	t.committed = true
 	t.cVersion = v
-	return nil
+	m := t.db.opts.Latency
+	if !m.Enabled() || m.PerCommit <= 0 {
+		return 0, nil
+	}
+	// The commit round trip starts once the GRV and every issued read have
+	// resolved (the real client flushes outstanding futures before commit).
+	start := t.db.simNow()
+	if t.grvReady > start {
+		start = t.grvReady
+	}
+	for _, r := range t.outstanding {
+		if r > start {
+			start = r
+		}
+	}
+	return start + int64(m.PerCommit), nil
 }
 
 func (t *Transaction) conflictRangeBytes() int {
@@ -858,6 +909,12 @@ func (t *Transaction) Versionstamp() ([]byte, error) {
 	}
 	return versionstampBytes(t.cVersion), nil
 }
+
+// LatencyEnabled reports whether the database charges simulated I/O latency.
+// Layers use it to skip future bookkeeping that buys nothing at zero latency
+// (issuing a read as a future only pays off when there is a window to
+// overlap).
+func (t *Transaction) LatencyEnabled() bool { return t.db.opts.Latency.Enabled() }
 
 // Stats returns the I/O accounting for this transaction so far.
 func (t *Transaction) Stats() TxnStats {

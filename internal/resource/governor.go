@@ -132,7 +132,12 @@ type Governor struct {
 	// from a LimitsStore. It is consulted when (re)creating live state, so
 	// evicting an idle tenant never loses its quota configuration.
 	configured map[string]Limits
-	tenants    map[string]*tenantState
+	// leased overlays configured with lease-derived limits installed by a
+	// lease.Manager: while a tenant's row is here, its token buckets refill
+	// from this server's held slice of the global budget rather than the raw
+	// (cluster-wide) limit. Lease wins over configured wins over defaults.
+	leased  map[string]Limits
+	tenants map[string]*tenantState
 	// waiting tracks only the tenants with at least one queued waiter, so
 	// dispatch never scans every tenant ever seen.
 	waiting   map[string]*tenantState
@@ -195,6 +200,7 @@ func NewGovernor(acct *Accountant, opts GovernorOptions) *Governor {
 		acct:               acct,
 		opts:               opts,
 		configured:         make(map[string]Limits),
+		leased:             make(map[string]Limits),
 		tenants:            make(map[string]*tenantState),
 		waiting:            make(map[string]*tenantState),
 		lastSweep:          opts.Clock(),
@@ -267,14 +273,67 @@ func (g *Governor) SetLimits(tenant string, l Limits) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.configured[tenant] = l
-	g.noteByteLimited(tenant, l)
+	eff := g.effectiveLocked(tenant) // a held lease keeps overriding the raw limit
+	g.noteByteLimited(tenant, eff)
 	if ts, ok := g.tenants[tenant]; ok {
-		g.applyLimitsLocked(tenant, ts, l) // includes syncByteSink
+		g.applyLimitsLocked(tenant, ts, eff) // includes syncByteSink
 		g.dispatch()
 	} else {
 		// No live admission state, but the tenant's meter may already exist
 		// (provider-path traffic): the byte sink must follow the new
 		// configuration or bypass bytes would escape the quota.
+		g.acct.Tenant(tenant).setByteSink(g.sinkFor(tenant))
+	}
+}
+
+// effectiveLocked resolves the limits that should govern tenant right now:
+// a lease slice overrides the configured (global) limit, which overrides the
+// defaults. Caller holds g.mu.
+func (g *Governor) effectiveLocked(tenant string) Limits {
+	if l, ok := g.leased[tenant]; ok {
+		return l
+	}
+	if l, ok := g.configured[tenant]; ok {
+		return l
+	}
+	return g.opts.DefaultLimits
+}
+
+// SetLease installs lease-derived limits for tenant: until ClearLease, the
+// tenant's buckets refill from l — this server's time-bounded slice of the
+// tenant's global budget — instead of the configured limit. Repeated renewals
+// with an unchanged slice preserve drained-bucket balances (applyLimitsLocked
+// keeps the balance, clamped to the new burst), so a heartbeat cannot be used
+// to refresh an exhausted quota.
+func (g *Governor) SetLease(tenant string, l Limits) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.leased[tenant] = l
+	g.noteByteLimited(tenant, l)
+	if ts, ok := g.tenants[tenant]; ok {
+		g.applyLimitsLocked(tenant, ts, l)
+		g.dispatch()
+	} else {
+		g.acct.Tenant(tenant).setByteSink(g.sinkFor(tenant))
+	}
+}
+
+// ClearLease drops tenant's lease-derived limits, reverting to the configured
+// (or default) ones — the path taken when a lease expires unrenewed or the
+// tenant leaves the persisted limits table.
+func (g *Governor) ClearLease(tenant string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.leased[tenant]; !ok {
+		return
+	}
+	delete(g.leased, tenant)
+	eff := g.effectiveLocked(tenant)
+	g.noteByteLimited(tenant, eff)
+	if ts, ok := g.tenants[tenant]; ok {
+		g.applyLimitsLocked(tenant, ts, eff)
+		g.dispatch()
+	} else {
 		g.acct.Tenant(tenant).setByteSink(g.sinkFor(tenant))
 	}
 }
@@ -327,17 +386,15 @@ func (g *Governor) syncByteSink(tenant string, ts *tenantState) {
 }
 
 // LimitsFor reports the limits in force for tenant. It never materializes
-// tenant state: live state wins, then the configured table, then defaults.
+// tenant state: live state wins, then a held lease, then the configured
+// table, then defaults.
 func (g *Governor) LimitsFor(tenant string) Limits {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if ts, ok := g.tenants[tenant]; ok {
 		return ts.limits
 	}
-	if l, ok := g.configured[tenant]; ok {
-		return l
-	}
-	return g.opts.DefaultLimits
+	return g.effectiveLocked(tenant)
 }
 
 // LoadLimits replaces the governor's configured per-tenant limits with the
@@ -350,6 +407,16 @@ func (g *Governor) LoadLimits(store *LimitsStore) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return g.ApplyLimits(all), nil
+}
+
+// ApplyLimits is LoadLimits with the store read factored out: it installs all
+// as the new configured table and re-resolves every tenant's effective limits
+// (a held lease keeps overriding its tenant's new global limit). A
+// lease.Manager uses it directly so one store read per refresh serves both
+// the limits reload and the lease claims. Returns the number of tenants
+// configured.
+func (g *Governor) ApplyLimits(all map[string]Limits) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	old := g.configured
@@ -358,11 +425,14 @@ func (g *Governor) LoadLimits(store *LimitsStore) (int, error) {
 	// meter-creation hook reads it without g.mu, and a still-byte-limited
 	// tenant must never be observed missing mid-rebuild (a stale extra
 	// entry is harmless — ChargeBytes checks the real limits).
-	for tenant, l := range all {
-		g.noteByteLimited(tenant, l)
+	for tenant := range all {
+		g.noteByteLimited(tenant, g.effectiveLocked(tenant))
+	}
+	for tenant := range g.leased {
+		g.noteByteLimited(tenant, g.effectiveLocked(tenant))
 	}
 	g.byteLimited.Range(func(k, _ interface{}) bool {
-		if l, ok := all[k.(string)]; !ok || l.BytesPerSecond <= 0 {
+		if g.effectiveLocked(k.(string)).BytesPerSecond <= 0 {
 			g.byteLimited.Delete(k)
 		}
 		return true
@@ -380,14 +450,10 @@ func (g *Governor) LoadLimits(store *LimitsStore) (int, error) {
 		}
 	}
 	for tenant, ts := range g.tenants {
-		l, ok := all[tenant]
-		if !ok {
-			l = g.opts.DefaultLimits
-		}
-		g.applyLimitsLocked(tenant, ts, l)
+		g.applyLimitsLocked(tenant, ts, g.effectiveLocked(tenant))
 	}
 	g.dispatch()
-	return len(all), nil
+	return len(all)
 }
 
 // WatchLimits reloads persisted limits from store every interval until ctx
@@ -416,10 +482,7 @@ func (g *Governor) WatchLimits(ctx context.Context, store *LimitsStore, interval
 func (g *Governor) tenant(tenant string) *tenantState {
 	ts, ok := g.tenants[tenant]
 	if !ok {
-		limits, ok := g.configured[tenant]
-		if !ok {
-			limits = g.opts.DefaultLimits
-		}
+		limits := g.effectiveLocked(tenant)
 		now := g.opts.Clock()
 		ts = &tenantState{
 			limits:     limits,
@@ -585,13 +648,9 @@ func (g *Governor) ChargeBytes(tenant string, n int) {
 	ts, ok := g.tenants[tenant]
 	if !ok {
 		// Evicted (or traffic outside the admission path): recreate state
-		// only when a byte quota is actually configured, so charges cannot
-		// slip through a quota while the tenant's state is cold.
-		limits, cok := g.configured[tenant]
-		if !cok {
-			limits = g.opts.DefaultLimits
-		}
-		if limits.BytesPerSecond <= 0 {
+		// only when a byte quota is actually in force (lease slice included),
+		// so charges cannot slip through a quota while the state is cold.
+		if g.effectiveLocked(tenant).BytesPerSecond <= 0 {
 			return
 		}
 		ts = g.tenant(tenant)

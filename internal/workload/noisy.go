@@ -25,9 +25,10 @@ import (
 // (baseline), victims plus aggressor ungoverned, and then under successive
 // governance mechanisms: a txn-rate quota, a byte-rate quota, quotas
 // persisted in a LimitsStore and loaded by two independent Governors (two
-// "stateless servers"), and a background online index build yielding to
-// foreground traffic — so the experiment isolates what each mechanism buys
-// (§1, §5: fair multi-tenancy).
+// "stateless servers"), quota leases splitting the aggressor's *global*
+// budget across three lease-coordinated governors, and a background online
+// index build yielding to foreground traffic — so the experiment isolates
+// what each mechanism buys (§1, §5: fair multi-tenancy).
 type NoisyConfig struct {
 	// Victims is the number of well-behaved tenants (default 4).
 	Victims int
@@ -101,13 +102,14 @@ type NoisyPhase struct {
 
 // NoisyStats is the whole experiment's outcome.
 type NoisyStats struct {
-	Config     NoisyConfig
-	Baseline   NoisyPhase // victims only
-	Ungoverned NoisyPhase // + aggressor, no governor
-	Governed   NoisyPhase // + aggressor, txn-rate quota caps it
-	ByteHog    NoisyPhase // + aggressor, byte-rate quota caps it
-	Persisted  NoisyPhase // + aggressor, quotas via LimitsStore into 2 governors
-	BgIndex    NoisyPhase // victims + background online index build
+	Config      NoisyConfig
+	Baseline    NoisyPhase // victims only
+	Ungoverned  NoisyPhase // + aggressor, no governor
+	Governed    NoisyPhase // + aggressor, txn-rate quota caps it
+	ByteHog     NoisyPhase // + aggressor, byte-rate quota caps it
+	Persisted   NoisyPhase // + aggressor, quotas via LimitsStore into 2 governors
+	Distributed NoisyPhase // + aggressor across 3 governors sharing quota leases
+	BgIndex     NoisyPhase // victims + background online index build
 
 	// AggressorCap is the maximum admissions the governed aggressor's
 	// txn-rate quota allows in one phase (burst + rate·phase).
@@ -128,6 +130,26 @@ type NoisyStats struct {
 	// stayed within 2x of baseline (the demonstration target is ~1.2x; the
 	// pass bound is looser because p50 on a loaded CI machine is noisy).
 	BgIsolated bool
+
+	// DistributedCap is the maximum admissions the aggressor's *global* txn
+	// quota allows in the distributed phase: the global burst (plus one
+	// token of rounding per server's scaled slice burst) plus rate·elapsed.
+	// Because the lease slices never sum past the global rate, three
+	// governors together cannot admit more than this — the whole point of
+	// the phase.
+	DistributedCap float64
+	// DistributedByteBudget is the distributed phase's drainable global byte
+	// budget (byte burst + byte rate·elapsed).
+	DistributedByteBudget int64
+	// DistributedByteCapped reports the aggressor's accounted bytes across
+	// all three servers stayed within the global byte budget's bound.
+	DistributedByteCapped bool
+	// LeaseSliceSumOK reports every mid-phase sample of the lease table kept
+	// sum(slices) <= the global limit for both resources.
+	LeaseSliceSumOK bool
+	// ExportConsistent reports the metering report (per-tenant rows exported
+	// by all three servers) exactly matched the live Accountant snapshots.
+	ExportConsistent bool
 }
 
 // aggressor tenant ID; victims are "victim-0".."victim-N".
@@ -150,6 +172,14 @@ const (
 	// writeAmplification pads one transaction's payload bytes up to what
 	// the store layers actually charge (record chunks, versions, keys).
 	writeAmplification = 3
+	// distServers is how many lease-coordinated governors the distributed
+	// phase spreads the aggressor across.
+	distServers = 3
+	// distMaxBackoff caps a distributed-phase worker's quota backoff: a cold
+	// server's lease slice starts near zero, and sleeping out a RetryAfter
+	// computed from that starvation-level rate would idle the worker past
+	// the very rebalance that grows the slice.
+	distMaxBackoff = 20 * time.Millisecond
 )
 
 // RunNoisyNeighbor runs every phase and evaluates the isolation criteria.
@@ -176,6 +206,12 @@ func RunNoisyNeighbor(ctx context.Context, cfg NoisyConfig) (NoisyStats, error) 
 		return stats, err
 	}
 	stats.SharedLimitsConsistent = consistent
+	var dist distOutcome
+	if stats.Distributed, dist, err = runDistributedPhase(ctx, cfg); err != nil {
+		return stats, err
+	}
+	stats.LeaseSliceSumOK = dist.sliceSumOK
+	stats.ExportConsistent = dist.exportConsistent
 	if stats.BgIndex, err = runNoisyPhase(ctx, cfg, noisySpec{name: "bg-index", bgIndex: true}); err != nil {
 		return stats, err
 	}
@@ -183,6 +219,11 @@ func RunNoisyNeighbor(ctx context.Context, cfg NoisyConfig) (NoisyStats, error) 
 	stats.ByteBudget = cfg.AggressorByteBurst +
 		int64(cfg.AggressorByteRate*stats.ByteHog.Elapsed.Seconds())
 	stats.ByteCapped = aggressorOf(stats.ByteHog).Bytes <= byteCapBound(stats.ByteBudget)
+	stats.DistributedCap = float64(cfg.AggressorBurst+distServers) +
+		cfg.AggressorRate*stats.Distributed.Elapsed.Seconds()
+	stats.DistributedByteBudget = cfg.AggressorByteBurst +
+		int64(cfg.AggressorByteRate*stats.Distributed.Elapsed.Seconds())
+	stats.DistributedByteCapped = aggressorOf(stats.Distributed).Bytes <= distByteCapBound(stats.DistributedByteBudget)
 	stats.Isolated = stats.Baseline.VictimP50 > 0 &&
 		stats.Governed.VictimP50 <= 2*stats.Baseline.VictimP50
 	stats.BgIsolated = stats.Baseline.VictimP50 > 0 &&
@@ -198,6 +239,15 @@ func RunNoisyNeighbor(ctx context.Context, cfg NoisyConfig) (NoisyStats, error) 
 func byteCapBound(budget int64) int64 {
 	perTxn := int64(aggressorRecsPerTxn * aggressorRecSize * writeAmplification)
 	return budget + budget/4 + byteQuotaConcurrency*perTxn
+}
+
+// distByteCapBound is the distributed phase's byte ceiling: the global
+// budget with ~1.1x slack (the acceptance bound — lease slices never sum
+// past the global rate), plus post-hoc debt overshoot from each server's
+// in-flight transactions (every server runs its own MaxConcurrent ceiling).
+func distByteCapBound(budget int64) int64 {
+	perTxn := int64(aggressorRecsPerTxn * aggressorRecSize * writeAmplification)
+	return budget + budget/10 + distServers*byteQuotaConcurrency*perTxn
 }
 
 // aggressorOf returns the aggressor's row in a phase (zero row if absent).
@@ -236,7 +286,28 @@ func (s NoisyStats) Check() error {
 		problems = append(problems, fmt.Sprintf(
 			"persisted-limits aggressor ran %d txns across 2 servers, combined cap ~%.0f", a.Txns, s.AggressorCap))
 	}
-	for _, p := range []NoisyPhase{s.Baseline, s.Governed, s.ByteHog, s.Persisted, s.BgIndex} {
+	// The distributed bound is the acceptance criterion: an aggressor spread
+	// over 3 lease-coordinated governors stays within ~1.1x its *global*
+	// caps — without leases each server would grant the full budget and the
+	// aggressor would run at ~3x.
+	if a := aggressorOf(s.Distributed); float64(a.Txns) > s.DistributedCap*1.1+2 {
+		problems = append(problems, fmt.Sprintf(
+			"distributed aggressor ran %d txns across %d servers, global cap %.0f",
+			a.Txns, distServers, s.DistributedCap))
+	}
+	if !s.DistributedByteCapped {
+		problems = append(problems, fmt.Sprintf(
+			"distributed aggressor charged %d bytes, global budget %d (bound %d)",
+			aggressorOf(s.Distributed).Bytes, s.DistributedByteBudget,
+			distByteCapBound(s.DistributedByteBudget)))
+	}
+	if !s.LeaseSliceSumOK {
+		problems = append(problems, "lease slices summed past the global limit")
+	}
+	if !s.ExportConsistent {
+		problems = append(problems, "metering report disagreed with the live accountants")
+	}
+	for _, p := range []NoisyPhase{s.Baseline, s.Governed, s.ByteHog, s.Persisted, s.Distributed, s.BgIndex} {
 		victims := 0
 		for _, t := range p.Tenants {
 			if t.Tenant != aggressorTenant {
@@ -327,6 +398,9 @@ type worker struct {
 	txns      int
 	latencies []time.Duration
 	err       error
+	// maxBackoff, when set, caps the quota-rejection backoff (see
+	// distMaxBackoff). Zero trusts RetryAfter unconditionally.
+	maxBackoff time.Duration
 }
 
 // run loops transactions until the deadline, backing off on quota
@@ -365,6 +439,9 @@ func (w *worker) run(ctx context.Context, c *noisyCluster, deadline time.Time,
 			if errors.As(err, &qe) {
 				// The recommended backoff: wait out the quota window.
 				pause := qe.RetryAfter
+				if w.maxBackoff > 0 && pause > w.maxBackoff {
+					pause = w.maxBackoff
+				}
 				if rest := time.Until(deadline); pause > rest {
 					pause = rest
 				}
@@ -675,6 +752,169 @@ func runPersistedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, bool, 
 
 	phase, err := mergePhase("persisted", cfg, workers, elapsed, acctA, acctB)
 	return phase, consistent, err
+}
+
+// distOutcome carries the distributed phase's invariant observations.
+type distOutcome struct {
+	sliceSumOK       bool
+	exportConsistent bool
+}
+
+// runDistributedPhase is the cluster-wide governance flow: the aggressor's
+// *global* quota (txn rate and byte rate) is written once to the LimitsStore,
+// and three independent governors — three "stateless servers" the aggressor
+// spreads across — each run a QuotaLeaseManager that claims a demand-sized,
+// time-bounded slice of that budget from /__system__/limits/leases. Without
+// leases each server would grant the full budget (the persisted phase's
+// halved-rate workaround does not scale past a static fleet); with them the
+// slices never sum past the global limit, so the aggressor's combined
+// throughput stays at ~1x its quota no matter how many servers it hits.
+// Every server also exports its Accountant's windows to the shared metering
+// subspace; the phase ends by checking the aggregated report against the
+// live accountants.
+func runDistributedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, distOutcome, error) {
+	out := distOutcome{}
+	c, err := newNoisyCluster()
+	if err != nil {
+		return NoisyPhase{}, out, err
+	}
+	limits := recordlayer.NewLimitsStore(c.db)
+	global := recordlayer.TenantLimits{
+		TxnPerSecond:   cfg.AggressorRate, // the FULL budget: leases do the splitting
+		Burst:          cfg.AggressorBurst,
+		BytesPerSecond: cfg.AggressorByteRate,
+		ByteBurst:      cfg.AggressorByteBurst,
+		MaxConcurrent:  byteQuotaConcurrency,
+	}
+	if err := limits.Set(aggressorTenant, global); err != nil {
+		return NoisyPhase{}, out, err
+	}
+
+	leaseStore := recordlayer.NewQuotaLeaseStore(c.db)
+	metering := recordlayer.NewMeteringStore(c.db)
+	accts := make([]*recordlayer.Accountant, distServers)
+	runners := make([]*recordlayer.Runner, distServers)
+	mgrs := make([]*recordlayer.QuotaLeaseManager, distServers)
+	exps := make([]*recordlayer.UsageExporter, distServers)
+	for i := 0; i < distServers; i++ {
+		server := fmt.Sprintf("server-%d", i)
+		accts[i] = recordlayer.NewAccountant()
+		gov := recordlayer.NewGovernor(accts[i], recordlayer.GovernorOptions{})
+		runners[i] = recordlayer.NewRunner(c.db, recordlayer.RunnerOptions{Accountant: accts[i], Governor: gov})
+		mgrs[i] = recordlayer.NewQuotaLeaseManager(gov, c.db, recordlayer.QuotaLeaseOptions{
+			Server: server,
+			TTL:    cfg.Phase / 2,
+		})
+		exps[i] = recordlayer.NewUsageExporter(accts[i], c.db, server)
+	}
+
+	tenants := make([]string, 0, cfg.Victims+1)
+	for i := 0; i < cfg.Victims; i++ {
+		tenants = append(tenants, fmt.Sprintf("victim-%d", i))
+	}
+	tenants = append(tenants, aggressorTenant)
+	// Pre-create before any limits load: the governors are still unlimited,
+	// so store creation is not charged against the lease slices.
+	if err := precreate(ctx, c, runners[0], tenants); err != nil {
+		return NoisyPhase{}, out, err
+	}
+	// Two synchronous refresh rounds converge the cold-start claims to an
+	// equal split (round 1 claims in arrival order against shrinking
+	// headroom; round 2 re-sizes every claim against all three live rows).
+	for round := 0; round < 2; round++ {
+		for _, m := range mgrs {
+			if _, err := m.Refresh(); err != nil {
+				return NoisyPhase{}, out, err
+			}
+		}
+	}
+
+	// Heartbeat + invariant sampler: renew/rebalance every ~Phase/10 and
+	// after each round assert the lease table's slice sums never exceed the
+	// global limit. sliceOK is written only here and read after the join.
+	sliceOK := true
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := cfg.Phase / 10
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				for _, m := range mgrs {
+					_, _ = m.Refresh() // transient claim conflicts retry next beat
+				}
+				rows, err := leaseStore.Live(aggressorTenant, time.Now())
+				if err != nil {
+					continue
+				}
+				var sumTxn, sumBytes float64
+				for _, r := range rows {
+					sumTxn += r.Slice.Txn
+					sumBytes += r.Slice.Bytes
+				}
+				if sumTxn > global.TxnPerSecond*1.0001 || sumBytes > global.BytesPerSecond*1.0001 {
+					sliceOK = false
+				}
+			}
+		}
+	}()
+
+	var workers []*worker
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Phase)
+	spawn := func(tenant string, runner *recordlayer.Runner, workerIdx, recsPerTxn, recSize int, record bool) {
+		w := &worker{tenant: tenant, runner: runner, maxBackoff: distMaxBackoff}
+		workers = append(workers, w)
+		wg.Add(1)
+		go w.run(ctx, c, deadline, cfg.Seed+int64(workerIdx)*7919, recsPerTxn, recSize, record, &wg)
+	}
+	idx := 0
+	for i := 0; i < cfg.Victims; i++ {
+		spawn(fmt.Sprintf("victim-%d", i), runners[0], idx, victimRecsPerTxn, victimRecSize, true)
+		idx++
+	}
+	for i := 0; i < cfg.AggressorWorkers; i++ {
+		// The aggressor hits all three "servers".
+		spawn(aggressorTenant, runners[i%distServers], idx, aggressorRecsPerTxn, aggressorRecSize, false)
+		idx++
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	hbCancel()
+	<-hbDone
+	out.sliceSumOK = sliceOK
+
+	// Export every server's final window and check the aggregated report
+	// against the live accountants: the billing pipeline must account every
+	// transaction and byte the phase ran, exactly once.
+	for _, e := range exps {
+		if _, err := e.Export(); err != nil {
+			return NoisyPhase{}, out, err
+		}
+	}
+	_, total, err := metering.Report()
+	if err != nil {
+		return NoisyPhase{}, out, err
+	}
+	var live recordlayer.TenantUsage
+	for _, acct := range accts {
+		for _, u := range acct.Snapshot() {
+			live = live.Accumulate(u)
+		}
+	}
+	out.exportConsistent = total == live
+
+	phase, err := mergePhase("distributed", cfg, workers, elapsed, accts...)
+	return phase, out, err
 }
 
 // percentiles returns the p50 and p95 of a latency sample (0,0 when empty).
