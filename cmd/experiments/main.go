@@ -153,6 +153,8 @@ func runNoisyNeighbor(w io.Writer, short bool) error {
 		if p.Indexed > 0 {
 			fmt.Fprintf(w, "    background index build processed %d records (yielding to foreground)\n", p.Indexed)
 		}
+		fmt.Fprintf(w, "    cluster I/O: %d commits, %d conflicts, %d keys written (%d B)\n",
+			p.IO.Commits, p.IO.Conflicts, p.IO.KeysWritten, p.IO.BytesWritten)
 	}
 	printPhase(stats.Baseline)
 	printPhase(stats.Ungoverned)

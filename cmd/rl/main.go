@@ -11,6 +11,8 @@
 //	                                       # persist quotas in the database
 //	go run ./cmd/rl tenants show           # the persisted limits table
 //	go run ./cmd/rl usage                  # metering export + billing report
+//	go run ./cmd/rl metrics                # Prometheus text-format dump
+//	go run ./cmd/rl plans                  # plan cache contents + stats
 package main
 
 import (
@@ -55,8 +57,14 @@ func main() {
 		case "usage":
 			usageCmd()
 			return
+		case "metrics":
+			metricsCmd()
+			return
+		case "plans":
+			plansCmd()
+			return
 		default:
-			fmt.Fprintf(os.Stderr, "usage: rl [tour|tenants|usage]\n")
+			fmt.Fprintf(os.Stderr, "usage: rl [tour|tenants|usage|metrics|plans]\n")
 			os.Exit(2)
 		}
 	}

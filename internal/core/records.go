@@ -14,6 +14,7 @@ import (
 	"recordlayer/internal/kvcursor"
 	"recordlayer/internal/message"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/tuple"
 )
 
@@ -219,8 +220,20 @@ func (s *Store) updateIndexes(old, new *StoredRecord) error {
 		if err != nil {
 			return err
 		}
-		if err := m.Update(s.indexContext(ix), old.asIndexRecord(), new.asIndexRecord()); err != nil {
-			return err
+		var t0 int64
+		if s.trace != nil {
+			t0 = s.tr.LatencyNow()
+		}
+		uerr := m.Update(s.indexContext(ix), old.asIndexRecord(), new.asIndexRecord())
+		if s.trace != nil {
+			attr := ""
+			if uerr != nil {
+				attr = uerr.Error()
+			}
+			s.trace.Add(obs.SpanIndexPrefix+ix.Name, t0, s.tr.LatencyNow(), 0, attr)
+		}
+		if uerr != nil {
+			return uerr
 		}
 	}
 	return nil

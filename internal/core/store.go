@@ -7,6 +7,7 @@ import (
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/index"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/resource"
 	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
@@ -78,6 +79,9 @@ type Store struct {
 	space subspace.Subspace
 	cfg   Config
 	meter *resource.Meter
+	// trace is the transaction's trace, captured once at open so hot paths
+	// pay one nil check instead of a mutex-guarded lookup per operation.
+	trace *obs.Trace
 
 	header      Header
 	userVersion uint16 // per-transaction counter for versionstamps (§7)
@@ -120,7 +124,7 @@ func (e *ErrStaleMetaData) Error() string {
 // removed indexes have their data cleared (§5).
 func Open(tr *fdb.Transaction, md *metadata.MetaData, space subspace.Subspace, opts OpenOptions) (*Store, error) {
 	s := &Store{tr: tr, md: md, space: space, cfg: opts.Config.withDefaults(),
-		meter: opts.Meter, maintainers: make(map[string]index.Maintainer),
+		meter: opts.Meter, trace: tr.Trace(), maintainers: make(map[string]index.Maintainer),
 		indexStates: make(map[string]metadata.IndexState)}
 	raw, err := tr.Get(s.headerKey())
 	if err != nil {
@@ -182,6 +186,11 @@ func (s *Store) Meter() *resource.Meter { return s.meter }
 
 // Subspace returns the store's subspace.
 func (s *Store) Subspace() subspace.Subspace { return s.space }
+
+// TxnStats returns the underlying transaction's I/O counters. Plan execution
+// takes before/after snapshots around each leaf cursor step to attribute
+// simulator reads to plan nodes (EXPLAIN ANALYZE).
+func (s *Store) TxnStats() fdb.TxnStats { return s.tr.Stats() }
 
 // applyMetaDataChanges reconciles the store with a newer schema version.
 func (s *Store) applyMetaDataChanges() error {

@@ -142,6 +142,7 @@ func RunAtomicVsRMW(w io.Writer, workers, ops int) (AtomicVsRMWResult, error) {
 	}
 	run := func(rmw bool) (conflicts, retries int64, err error) {
 		db := fdb.Open(nil)
+		base := db.Metrics().Snapshot()
 		for j := 0; j < ops; j++ {
 			txns := make([]*fdb.Transaction, workers)
 			for i := range txns {
@@ -174,7 +175,8 @@ func RunAtomicVsRMW(w io.Writer, workers, ops int) (AtomicVsRMWResult, error) {
 		if got := binary.LittleEndian.Uint64(v.([]byte)); got != uint64(workers*ops) {
 			return 0, 0, fmt.Errorf("lost updates: %d != %d", got, workers*ops)
 		}
-		return db.Metrics().Conflicts.Load(), db.Metrics().Retries.Load(), nil
+		d := db.Metrics().Snapshot().Delta(base)
+		return d.Conflicts, d.Retries, nil
 	}
 
 	var err error
@@ -214,6 +216,7 @@ func RunVersionCache(w io.Writer, reads int) (VersionCacheResult, error) {
 
 	runPass := func(useCache bool) (int64, int, error) {
 		db := fdb.Open(nil)
+		base := db.Metrics().Snapshot()
 		_, err := db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
 			return nil, tr.Set([]byte("k"), []byte("v0"))
 		})
@@ -264,7 +267,7 @@ func RunVersionCache(w io.Writer, reads int) (VersionCacheResult, error) {
 			}
 			tr.Cancel()
 		}
-		return db.Metrics().GRVCalls.Load(), stale, nil
+		return db.Metrics().Snapshot().Delta(base).GRVCalls, stale, nil
 	}
 
 	var err error

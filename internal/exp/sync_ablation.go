@@ -56,6 +56,7 @@ func RunSyncAblation(w io.Writer, writers, ops int) (SyncAblationResult, error) 
 	// Layer — per round, every writer starts its transaction before any of
 	// them commits.
 	db := fdb.Open(nil)
+	base := db.Metrics().Snapshot()
 	svc, err := cloudkit.NewService(21)
 	if err != nil {
 		return res, err
@@ -122,7 +123,7 @@ func RunSyncAblation(w io.Writer, writers, ops int) (SyncAblationResult, error) 
 			}
 		}
 	}
-	res.VersionIndexConflicts = db.Metrics().Conflicts.Load()
+	res.VersionIndexConflicts = db.Metrics().Snapshot().Delta(base).Conflicts
 
 	// Cross-cluster move ordering.
 	dst := fdb.Open(nil)

@@ -35,6 +35,58 @@ type Metrics struct {
 	SimWaitNanos Counter
 }
 
+// MetricsSnapshot is a point-in-time copy of Metrics as plain values, so
+// experiments measure phases as Snapshot-then-Delta instead of hand-diffing
+// individual counters.
+type MetricsSnapshot struct {
+	TransactionsStarted int64
+	Commits             int64
+	Conflicts           int64
+	Retries             int64
+	GRVCalls            int64
+
+	KeysRead     int64
+	BytesRead    int64
+	KeysWritten  int64
+	BytesWritten int64
+
+	SimWaitNanos int64
+}
+
+// Snapshot copies every counter. The copy is not a single atomic cut across
+// counters — concurrent transactions may land between loads — but each field
+// is itself a consistent atomic read, which is what phase deltas need.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		TransactionsStarted: m.TransactionsStarted.Load(),
+		Commits:             m.Commits.Load(),
+		Conflicts:           m.Conflicts.Load(),
+		Retries:             m.Retries.Load(),
+		GRVCalls:            m.GRVCalls.Load(),
+		KeysRead:            m.KeysRead.Load(),
+		BytesRead:           m.BytesRead.Load(),
+		KeysWritten:         m.KeysWritten.Load(),
+		BytesWritten:        m.BytesWritten.Load(),
+		SimWaitNanos:        m.SimWaitNanos.Load(),
+	}
+}
+
+// Delta returns this snapshot minus prev: what happened between the two.
+func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		TransactionsStarted: s.TransactionsStarted - prev.TransactionsStarted,
+		Commits:             s.Commits - prev.Commits,
+		Conflicts:           s.Conflicts - prev.Conflicts,
+		Retries:             s.Retries - prev.Retries,
+		GRVCalls:            s.GRVCalls - prev.GRVCalls,
+		KeysRead:            s.KeysRead - prev.KeysRead,
+		BytesRead:           s.BytesRead - prev.BytesRead,
+		KeysWritten:         s.KeysWritten - prev.KeysWritten,
+		BytesWritten:        s.BytesWritten - prev.BytesWritten,
+		SimWaitNanos:        s.SimWaitNanos - prev.SimWaitNanos,
+	}
+}
+
 // TxnStats captures the I/O performed by a single transaction. The Record
 // Layer's resource-isolation limits (§8.2) are enforced against these.
 type TxnStats struct {

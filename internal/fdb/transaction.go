@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"sort"
 	"sync"
+
+	"recordlayer/internal/obs"
 )
 
 // KeyValue is a single key-value pair returned by range reads.
@@ -112,6 +114,11 @@ type txnState struct {
 	// dropped at the next issue, so abandoned futures age out naturally.
 	outstanding []int64
 
+	// trace, when set, receives GRV / read-window / await / commit spans
+	// priced by the latency clock. Nil (the default) costs one pointer check
+	// per site.
+	trace *obs.Trace
+
 	stats     TxnStats
 	committed bool
 	canceled  bool
@@ -159,7 +166,14 @@ func (t *Transaction) ensureSnapshot() error {
 		// A SetReadVersion transaction never reaches here — read-version
 		// caching skips the GRV round trip and therefore its price.
 		if m := t.db.opts.Latency; m.Enabled() && m.PerGRV > 0 {
-			t.grvReady = t.db.simNow() + int64(m.PerGRV)
+			now := t.db.simNow()
+			t.grvReady = now + int64(m.PerGRV)
+			if t.trace != nil {
+				t.trace.Add(obs.SpanGRV, now, t.grvReady, 0, "")
+			}
+		} else if t.trace != nil {
+			now := t.db.simNow()
+			t.trace.Add(obs.SpanGRV, now, now, 0, "")
 		}
 	}
 	return nil
@@ -272,6 +286,9 @@ func (t *Transaction) issueLocked(nbytes int) int64 {
 		issueAt = t.grvReady
 	}
 	ready := issueAt + int64(m.readCost(nbytes))
+	if t.trace != nil {
+		t.trace.Add(obs.SpanRead, issueAt, ready, nbytes, "")
+	}
 	live := t.outstanding[:0]
 	for _, r := range t.outstanding {
 		if r > now {
@@ -298,8 +315,12 @@ func (t *Transaction) awaitRead(ready int64) {
 	}
 	t.mu.Lock()
 	t.stats.SimWaitNanos += waited
+	trace := t.trace
 	t.mu.Unlock()
 	t.db.metrics.SimWaitNanos.Add(waited)
+	if trace != nil {
+		trace.Add(obs.SpanAwait, ready-waited, ready, 0, "")
+	}
 }
 
 func (t *Transaction) getLocked(key []byte, snapshot bool) ([]byte, error) {
@@ -746,12 +767,25 @@ func (t *Transaction) AddWriteConflictRange(begin, end []byte) {
 // stay free.
 func (t *Transaction) Commit() error {
 	t.mu.Lock()
+	trace := t.trace
+	var t0 int64
+	if trace != nil {
+		t0 = t.db.simNow()
+	}
 	ready, err := t.commitLocked()
 	t.mu.Unlock()
 	if err != nil {
+		if trace != nil {
+			trace.Add(obs.SpanCommit, t0, t.db.simNow(), 0, err.Error())
+		}
 		return err
 	}
+	// waitUntil advances the latency clock to ready, so the span's end under
+	// the virtual clock is exactly the commit round trip's completion.
 	t.awaitRead(ready)
+	if trace != nil {
+		trace.Add(obs.SpanCommit, t0, t.db.simNow(), 0, "")
+	}
 	return nil
 }
 
@@ -909,6 +943,29 @@ func (t *Transaction) Versionstamp() ([]byte, error) {
 	}
 	return versionstampBytes(t.cVersion), nil
 }
+
+// SetTrace attaches a span sink: GRV, read-window, await, and commit spans
+// are recorded into it, priced by the latency clock. The Runner attaches the
+// context's trace to each attempt's transaction; nil (the default) keeps
+// every instrumentation site at one pointer check.
+func (t *Transaction) SetTrace(tr *obs.Trace) {
+	t.mu.Lock()
+	t.trace = tr
+	t.mu.Unlock()
+}
+
+// Trace returns the attached span sink, or nil. Layers above capture it once
+// (e.g. at store open) rather than re-reading per operation.
+func (t *Transaction) Trace() *obs.Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trace
+}
+
+// LatencyNow reads the database's latency clock (the virtual clock under
+// Options.Latency.Virtual, the wall clock otherwise) so layers can price
+// their own trace spans in the same timebase as the read windows.
+func (t *Transaction) LatencyNow() int64 { return t.db.simNow() }
 
 // LatencyEnabled reports whether the database charges simulated I/O latency.
 // Layers use it to skip future bookkeeping that buys nothing at zero latency

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", 0, 1, 0, "")
+	if tr.Spans() != nil || tr.Named("x") != nil || tr.Len() != 0 || tr.Summary() != "" {
+		t.Fatal("nil trace must be inert")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not ride the context")
+	}
+	tr.Add(SpanRead, 100, 300, 42, "")
+	tr.Add(SpanRead, 100, 300, 7, "")
+	tr.Add(SpanCommit, 300, 500, 0, "ok")
+	if got := len(tr.Named(SpanRead)); got != 2 {
+		t.Fatalf("Named(read) = %d spans, want 2", got)
+	}
+	if d := tr.Named(SpanCommit)[0].Duration(); d != 200*time.Nanosecond {
+		t.Fatalf("commit duration = %v, want 200ns", d)
+	}
+	sum := tr.Summary()
+	// Reads total 400ns vs commit 200ns, so reads sort first.
+	if !strings.HasPrefix(sum, "fdb.read=2×400ns") || !strings.Contains(sum, "fdb.commit=1×200ns") {
+		t.Fatalf("unexpected summary %q", sum)
+	}
+}
+
+func TestTraceConcurrentAdd(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add(SpanRead, int64(i), int64(i+1), 0, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("lost spans: %d != 800", tr.Len())
+	}
+}
+
+func TestPlanStatsTree(t *testing.T) {
+	var nilStats *PlanStats
+	nilStats.AddPage()
+	nilStats.AddIO(1, 2, 3)
+	if nilStats.Child(0, "x") != nil || nilStats.Render() != "" || nilStats.TotalReads() != 0 {
+		t.Fatal("nil PlanStats must be inert")
+	}
+
+	root := NewPlanStats("Filter(age > 30)")
+	leaf := root.Child(0, "Index(by_age)")
+	root.AddPage()
+	root.AddRowOut()
+	leaf.AddPage()
+	leaf.AddRowIn()
+	leaf.AddRowIn()
+	leaf.AddRowOut()
+	leaf.AddRowOut()
+	leaf.AddIO(5, 100, int64(time.Millisecond))
+	// Positional identity: a second execution reuses the same child.
+	if root.Child(0, "Index(by_age)") != leaf {
+		t.Fatal("Child(0) must be stable across executions")
+	}
+	if root.TotalReads() != 5 {
+		t.Fatalf("TotalReads = %d, want 5", root.TotalReads())
+	}
+	out := root.Render()
+	if !strings.Contains(out, "Filter(age > 30)  [pages=1 out=1]") {
+		t.Fatalf("root line missing in:\n%s", out)
+	}
+	if !strings.Contains(out, "  Index(by_age)  [pages=1 in=2 out=2 simreads=5 simbytes=100 simwait=1ms]") {
+		t.Fatalf("leaf line missing in:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r := NewRegistry()
+	r.Histogram("lat", "test", h)
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 2`, // 0.5 and the boundary value 1 (le is inclusive)
+		`lat_bucket{le="5"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 111.5",
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryPromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz_depth", "queue depth", func() []Sample { return Single(3) })
+	r.Counter("aa_total", "with labels", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{"tenant", `we"ird\`}}, Value: 1.5},
+			{Labels: []Label{{"tenant", "plain"}}, Value: 2},
+		}
+	})
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP aa_total with labels\n# TYPE aa_total counter\n") {
+		t.Fatalf("header missing in:\n%s", out)
+	}
+	if !strings.Contains(out, `aa_total{tenant="we\"ird\\"} 1.5`) {
+		t.Fatalf("label escaping wrong in:\n%s", out)
+	}
+	// Sorted by name: aa_total before zz_depth.
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_depth") {
+		t.Fatalf("metrics not sorted by name:\n%s", out)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Counter("aa_total", "", func() []Sample { return nil })
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var nilLog *SlowQueryLog
+	nilLog.Observe(SlowQuery{}, true)
+	if nilLog.Entries() != nil || nilLog.SlowTotal() != 0 || nilLog.DurationHistogram() != nil {
+		t.Fatal("nil log must be inert")
+	}
+
+	l := NewSlowQueryLog(2)
+	l.Observe(SlowQuery{Plan: "fast", Elapsed: time.Microsecond}, false)
+	for i, p := range []string{"a", "b", "c"} {
+		l.Observe(SlowQuery{Plan: p, Elapsed: time.Duration(i+1) * time.Millisecond, Rows: i}, true)
+	}
+	if l.SlowTotal() != 3 {
+		t.Fatalf("SlowTotal = %d, want 3", l.SlowTotal())
+	}
+	got := l.Entries()
+	if len(got) != 2 || got[0].Plan != "b" || got[1].Plan != "c" {
+		t.Fatalf("ring kept %+v, want [b c]", got)
+	}
+	if l.DurationHistogram().Count() != 4 {
+		t.Fatalf("histogram observed %d, want every execution (4)", l.DurationHistogram().Count())
+	}
+}

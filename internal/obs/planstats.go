@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PlanStats is one query-plan node's live execution counters, forming a tree
+// that mirrors the plan tree — the substrate of EXPLAIN ANALYZE. A nil
+// *PlanStats is a valid "collection off" value: every method is a no-op and
+// Child returns nil, so plan executors thread it unconditionally.
+//
+// A PlanStats tree is not safe for concurrent mutation; like the cursors it
+// observes, one execution mutates it from one goroutine at a time. Reusing
+// the same tree across continuation executions accumulates (that is how
+// Pages counts pages).
+type PlanStats struct {
+	// Label is the node's own description (no children), e.g.
+	// "Index(by_name [user] - [user])" or "Filter(age > 30)".
+	Label string
+	// Pages counts executions of this node: 1 for a single drain, one per
+	// continuation page when a tree is reused across resumes.
+	Pages int64
+	// RowsIn counts source items scanned by leaf nodes (index entries,
+	// raw records before a type filter); composite nodes leave it zero —
+	// their input is their children's RowsOut.
+	RowsIn int64
+	// RowsOut counts records this node emitted downstream.
+	RowsOut int64
+	// SimReads / SimReadBytes / SimWaitNanos are the transaction I/O deltas
+	// attributed to this node (leaf scans only: a leaf's Next window contains
+	// exactly its own reads, while a composite's window would double-count
+	// its children's).
+	SimReads     int64
+	SimReadBytes int64
+	SimWaitNanos int64
+
+	Children []*PlanStats
+}
+
+// NewPlanStats creates a root node.
+func NewPlanStats(label string) *PlanStats { return &PlanStats{Label: label} }
+
+// Child returns the i-th child, creating it (and any gap before it) on first
+// use. Positional identity is what lets a resumed execution of the same plan
+// find and accumulate into the same nodes.
+func (s *PlanStats) Child(i int, label string) *PlanStats {
+	if s == nil {
+		return nil
+	}
+	for len(s.Children) <= i {
+		s.Children = append(s.Children, &PlanStats{})
+	}
+	c := s.Children[i]
+	c.Label = label
+	return c
+}
+
+// AddPage counts one execution of this node.
+func (s *PlanStats) AddPage() {
+	if s != nil {
+		s.Pages++
+	}
+}
+
+// AddRowIn counts one source item scanned.
+func (s *PlanStats) AddRowIn() {
+	if s != nil {
+		s.RowsIn++
+	}
+}
+
+// AddRowOut counts one record emitted.
+func (s *PlanStats) AddRowOut() {
+	if s != nil {
+		s.RowsOut++
+	}
+}
+
+// AddIO attributes a transaction I/O delta to this node.
+func (s *PlanStats) AddIO(keys, bytes, waitNanos int64) {
+	if s != nil {
+		s.SimReads += keys
+		s.SimReadBytes += bytes
+		s.SimWaitNanos += waitNanos
+	}
+}
+
+// TotalReads sums SimReads over the subtree.
+func (s *PlanStats) TotalReads() int64 {
+	if s == nil {
+		return 0
+	}
+	n := s.SimReads
+	for _, c := range s.Children {
+		n += c.TotalReads()
+	}
+	return n
+}
+
+// Render returns the annotated tree, one node per line, children indented:
+//
+//	Filter(age > 30)  [pages=1 out=3]
+//	  Index(by_name [u] - [u])  [pages=1 in=100 out=100 simreads=300 simbytes=6k simwait=1.2ms]
+func (s *PlanStats) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *PlanStats) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Label)
+	fmt.Fprintf(b, "  [pages=%d", s.Pages)
+	if s.RowsIn > 0 {
+		fmt.Fprintf(b, " in=%d", s.RowsIn)
+	}
+	fmt.Fprintf(b, " out=%d", s.RowsOut)
+	if s.SimReads > 0 || s.SimReadBytes > 0 {
+		fmt.Fprintf(b, " simreads=%d simbytes=%d", s.SimReads, s.SimReadBytes)
+	}
+	if s.SimWaitNanos > 0 {
+		fmt.Fprintf(b, " simwait=%s", time.Duration(s.SimWaitNanos))
+	}
+	b.WriteString("]\n")
+	for _, c := range s.Children {
+		c.render(b, depth+1)
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Sample is one collected value with its labels.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Single wraps a single unlabeled value — the common collector return shape.
+func Single(v float64) []Sample { return []Sample{{Value: v}} }
+
+// MetricKind distinguishes the Prometheus exposition types.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+type metric struct {
+	name    string
+	help    string
+	kind    MetricKind
+	collect func() []Sample // counter / gauge
+	hist    *Histogram      // histogram
+}
+
+// Registry is a pull-based metrics registry: collectors are closures read at
+// scrape time, so the exported numbers are always the live counters — no
+// push path, no drift between a source and its export. Safe for concurrent
+// registration and scraping.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]*metric)} }
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[m.name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
+	}
+	r.metrics[m.name] = m
+}
+
+// Counter registers a cumulative metric; collect is invoked at each scrape.
+func (r *Registry) Counter(name, help string, collect func() []Sample) {
+	r.register(&metric{name: name, help: help, kind: KindCounter, collect: collect})
+}
+
+// Gauge registers a point-in-time metric; collect is invoked at each scrape.
+func (r *Registry) Gauge(name, help string, collect func() []Sample) {
+	r.register(&metric{name: name, help: help, kind: KindGauge, collect: collect})
+}
+
+// Histogram registers h under name; its buckets are read at each scrape.
+func (r *Registry) Histogram(name, help string, h *Histogram) {
+	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+}
+
+// WriteProm writes every metric in Prometheus text exposition format, sorted
+// by name so output is diffable and greppable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		if m.kind == KindHistogram {
+			if err := m.hist.writeProm(w, m.name); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range m.collect() {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, formatLabels(s.Labels), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Histogram is a concurrency-safe histogram with explicit bucket upper
+// bounds (a +Inf bucket is implicit), exported in Prometheus cumulative
+// form.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // ascending upper bounds
+	counts  []int64   // len(buckets)+1; last is the +Inf overflow
+	sum     float64
+	count   int64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds.
+func NewHistogram(buckets ...float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	bs := make([]float64, len(buckets))
+	copy(bs, buckets)
+	return &Histogram{buckets: bs, counts: make([]int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) writeProm(w io.Writer, name string) error {
+	h.mu.Lock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	cum := int64(0)
+	for i, bound := range h.buckets {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, count)
+	return err
+}

@@ -75,7 +75,8 @@ func (p *CoveringIndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cur
 	if err != nil {
 		return nil, err
 	}
-	return cursor.Map(entries, func(e index.Entry) (*core.StoredRecord, error) {
+	entries = observeIn(opts.Stats, entries)
+	return observe(opts.Stats, s, true, cursor.Map(entries, func(e index.Entry) (*core.StoredRecord, error) {
 		msg := message.New(rt.Descriptor)
 		for _, fs := range p.Fields {
 			var src tuple.Tuple
@@ -95,7 +96,7 @@ func (p *CoveringIndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cur
 			}
 		}
 		return &core.StoredRecord{Type: rt, Message: msg, PrimaryKey: e.PrimaryKey}, nil
-	}), nil
+	})), nil
 }
 
 // setFromTuple assigns a tuple element to a message field, bridging the few
@@ -119,6 +120,9 @@ func (p *CoveringIndexScanPlan) OrderedByPrimaryKey() bool { return p.FullyBound
 func (p *CoveringIndexScanPlan) String() string {
 	return fmt.Sprintf("Covering(Index(%s %s%s))", p.IndexName, rangeString(p.Range), revString(p.Reverse))
 }
+
+// Label implements Plan. Leaves have no children, so Label is String.
+func (p *CoveringIndexScanPlan) Label() string { return p.String() }
 
 // coveringFor decides whether an index match can be promoted to a covering
 // plan, and builds it. Covering requires:

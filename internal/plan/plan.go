@@ -12,6 +12,7 @@ import (
 	"recordlayer/internal/core"
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/index"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/query"
 )
 
@@ -29,6 +30,13 @@ type ExecuteOptions struct {
 	PipelineDepth int
 	// NoReadAhead disables the scans' next-batch prefetch.
 	NoReadAhead bool
+	// Stats, when non-nil, is the obs.PlanStats node this plan fills during
+	// execution — rows in/out, attributed simulator I/O, continuation pages —
+	// the substrate of EXPLAIN ANALYZE. Each plan creates its children's
+	// nodes positionally (Stats.Child), so a resumed execution handed the
+	// same tree accumulates across pages. Nil (the default) keeps execution
+	// at one pointer check per node.
+	Stats *obs.PlanStats
 }
 
 // Plan is an executable query plan. Plans are immutable and reusable across
@@ -42,6 +50,9 @@ type Plan interface {
 	OrderedByPrimaryKey() bool
 	// String renders the plan tree.
 	String() string
+	// Label renders this node alone (no children) — the per-node line of an
+	// EXPLAIN ANALYZE tree.
+	Label() string
 }
 
 func errPlanCursor(err error) cursor.Cursor[*core.StoredRecord] {
@@ -60,13 +71,18 @@ func childOptions(opts ExecuteOptions, cont []byte) ExecuteOptions {
 }
 
 // childBuilders wraps each child plan as a continuation-taking cursor
-// builder, the shape cursor.Union/Intersection/Concat consume.
+// builder, the shape cursor.Union/Intersection/Concat consume. When stats
+// collection is on, each child fills its own positionally-stable node under
+// the parent's.
 func childBuilders(s *core.Store, children []Plan, opts ExecuteOptions) []func([]byte) cursor.Cursor[*core.StoredRecord] {
 	builders := make([]func([]byte) cursor.Cursor[*core.StoredRecord], len(children))
+	parent := opts.Stats
 	for i, child := range children {
-		child := child
+		i, child := i, child
 		builders[i] = func(cont []byte) cursor.Cursor[*core.StoredRecord] {
-			c, err := child.Execute(s, childOptions(opts, cont))
+			co := childOptions(opts, cont)
+			co.Stats = parent.Child(i, child.Label())
+			c, err := child.Execute(s, co)
 			if err != nil {
 				return errPlanCursor(err)
 			}
@@ -74,6 +90,74 @@ func childBuilders(s *core.Store, children []Plan, opts ExecuteOptions) []func([
 		}
 	}
 	return builders
+}
+
+// ------------------------------------------------------------ execution stats
+
+// statsCursor counts the records a plan node emits; with st set (leaf scans
+// only) it also attributes the transaction I/O performed inside each Next —
+// keys and bytes read, simulated wait — to the node. Leaf windows contain
+// exactly the leaf's own reads; a composite's window would double-count its
+// children's, so composites count rows alone.
+type statsCursor struct {
+	inner cursor.Cursor[*core.StoredRecord]
+	node  *obs.PlanStats
+	st    *core.Store
+}
+
+func (c *statsCursor) Next() (cursor.Result[*core.StoredRecord], error) {
+	if c.st == nil {
+		r, err := c.inner.Next()
+		if err == nil && r.OK {
+			c.node.AddRowOut()
+		}
+		return r, err
+	}
+	before := c.st.TxnStats()
+	r, err := c.inner.Next()
+	after := c.st.TxnStats()
+	c.node.AddIO(int64(after.KeysRead-before.KeysRead), int64(after.BytesRead-before.BytesRead),
+		after.SimWaitNanos-before.SimWaitNanos)
+	if err == nil && r.OK {
+		c.node.AddRowOut()
+	}
+	return r, err
+}
+
+// observe wraps a node's output cursor when stats collection is on (one nil
+// check when off); io attributes per-Next transaction deltas to the node.
+func observe(node *obs.PlanStats, s *core.Store, io bool, c cursor.Cursor[*core.StoredRecord]) cursor.Cursor[*core.StoredRecord] {
+	if node == nil {
+		return c
+	}
+	node.AddPage()
+	var st *core.Store
+	if io {
+		st = s
+	}
+	return &statsCursor{inner: c, node: node, st: st}
+}
+
+// rowInCursor counts the source items a leaf scans (index entries, raw
+// records ahead of a type filter) as the node's RowsIn.
+type rowInCursor[T any] struct {
+	inner cursor.Cursor[T]
+	node  *obs.PlanStats
+}
+
+func (c *rowInCursor[T]) Next() (cursor.Result[T], error) {
+	r, err := c.inner.Next()
+	if err == nil && r.OK {
+		c.node.AddRowIn()
+	}
+	return r, err
+}
+
+func observeIn[T any](node *obs.PlanStats, c cursor.Cursor[T]) cursor.Cursor[T] {
+	if node == nil {
+		return c
+	}
+	return &rowInCursor[T]{inner: c, node: node}
 }
 
 // ---------------------------------------------------------------- full scan
@@ -97,15 +181,16 @@ func (p *FullScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curso
 		NoReadAhead:  opts.NoReadAhead,
 	})
 	if len(p.Types) == 0 {
-		return c, nil
+		return observe(opts.Stats, s, true, c), nil
 	}
+	c = observeIn(opts.Stats, c)
 	want := map[string]bool{}
 	for _, t := range p.Types {
 		want[t] = true
 	}
-	return cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
+	return observe(opts.Stats, s, true, cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
 		return want[r.Type.Name], nil
-	}), nil
+	})), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -118,6 +203,9 @@ func (p *FullScanPlan) String() string {
 	}
 	return fmt.Sprintf("Scan(%s)", strings.Join(p.Types, ","))
 }
+
+// Label implements Plan. Leaves have no children, so Label is String.
+func (p *FullScanPlan) Label() string { return p.String() }
 
 // ---------------------------------------------------------------- index scan
 
@@ -146,7 +234,8 @@ func (p *IndexScanPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Curs
 	if err != nil {
 		return nil, err
 	}
-	return s.FetchIndexedPipelined(entries, opts.Snapshot, opts.PipelineDepth), nil
+	entries = observeIn(opts.Stats, entries)
+	return observe(opts.Stats, s, true, s.FetchIndexedPipelined(entries, opts.Snapshot, opts.PipelineDepth)), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -160,6 +249,9 @@ func (p *IndexScanPlan) OrderedByPrimaryKey() bool { return p.FullyBound && !p.R
 func (p *IndexScanPlan) String() string {
 	return fmt.Sprintf("Index(%s %s%s)", p.IndexName, rangeString(p.Range), revString(p.Reverse))
 }
+
+// Label implements Plan. Leaves have no children, so Label is String.
+func (p *IndexScanPlan) Label() string { return p.String() }
 
 func rangeString(r index.TupleRange) string {
 	lo, hi := "<,", ",>"
@@ -197,13 +289,16 @@ type FilterPlan struct {
 
 // Execute implements Plan.
 func (p *FilterPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
-	c, err := p.Child.Execute(s, opts)
+	node := opts.Stats
+	childOpts := opts
+	childOpts.Stats = node.Child(0, p.Child.Label())
+	c, err := p.Child.Execute(s, childOpts)
 	if err != nil {
 		return nil, err
 	}
-	return cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
+	return observe(node, s, false, cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
 		return p.Filter.Eval(r.Message)
-	}), nil
+	})), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -213,6 +308,9 @@ func (p *FilterPlan) OrderedByPrimaryKey() bool { return p.Child.OrderedByPrimar
 func (p *FilterPlan) String() string {
 	return fmt.Sprintf("Filter(%s | %s)", p.Filter, p.Child)
 }
+
+// Label implements Plan.
+func (p *FilterPlan) Label() string { return fmt.Sprintf("Filter(%s)", p.Filter) }
 
 // ---------------------------------------------------------------- distinct
 
@@ -228,19 +326,22 @@ type DistinctPlan struct {
 
 // Execute implements Plan.
 func (p *DistinctPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
-	c, err := p.Child.Execute(s, opts)
+	node := opts.Stats
+	childOpts := opts
+	childOpts.Stats = node.Child(0, p.Child.Label())
+	c, err := p.Child.Execute(s, childOpts)
 	if err != nil {
 		return nil, err
 	}
 	seen := map[string]bool{}
-	return cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
+	return observe(node, s, false, cursor.Filter(c, func(r *core.StoredRecord) (bool, error) {
 		k := string(r.PrimaryKey.Pack())
 		if seen[k] {
 			return false, nil
 		}
 		seen[k] = true
 		return true, nil
-	}), nil
+	})), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -248,6 +349,9 @@ func (p *DistinctPlan) OrderedByPrimaryKey() bool { return p.Child.OrderedByPrim
 
 // String implements Plan.
 func (p *DistinctPlan) String() string { return fmt.Sprintf("Distinct(%s)", p.Child) }
+
+// Label implements Plan.
+func (p *DistinctPlan) Label() string { return "Distinct" }
 
 // ---------------------------------------------------------------- union
 
@@ -262,21 +366,25 @@ type UnionPlan struct {
 func (p *UnionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.Cursor[*core.StoredRecord], error) {
 	builders := childBuilders(s, p.Children, opts)
 	if p.OrderedByPrimaryKey() {
-		return cursor.Union(opts.Continuation, pkOf, builders...)
+		c, err := cursor.Union(opts.Continuation, pkOf, builders...)
+		if err != nil {
+			return nil, err
+		}
+		return observe(opts.Stats, s, false, c), nil
 	}
 	chained, err := cursor.Concat(opts.Continuation, builders...)
 	if err != nil {
 		return nil, err
 	}
 	seen := map[string]bool{}
-	return cursor.Filter(chained, func(r *core.StoredRecord) (bool, error) {
+	return observe(opts.Stats, s, false, cursor.Filter(chained, func(r *core.StoredRecord) (bool, error) {
 		k := string(r.PrimaryKey.Pack())
 		if seen[k] {
 			return false, nil
 		}
 		seen[k] = true
 		return true, nil
-	}), nil
+	})), nil
 }
 
 func pkOf(r *core.StoredRecord) []byte { return r.PrimaryKey.Pack() }
@@ -304,6 +412,14 @@ func (p *UnionPlan) String() string {
 	return fmt.Sprintf("%s(%s)", kind, strings.Join(parts, " ∪ "))
 }
 
+// Label implements Plan.
+func (p *UnionPlan) Label() string {
+	if p.OrderedByPrimaryKey() {
+		return "Union"
+	}
+	return "UnorderedUnion"
+}
+
 // ---------------------------------------------------------------- intersection
 
 // IntersectionPlan merges primary-key-ordered children, emitting records
@@ -317,7 +433,11 @@ func (p *IntersectionPlan) Execute(s *core.Store, opts ExecuteOptions) (cursor.C
 	if !p.OrderedByPrimaryKey() {
 		return nil, fmt.Errorf("plan: intersection requires primary-key ordered children")
 	}
-	return cursor.Intersection(opts.Continuation, pkOf, childBuilders(s, p.Children, opts)...)
+	c, err := cursor.Intersection(opts.Continuation, pkOf, childBuilders(s, p.Children, opts)...)
+	if err != nil {
+		return nil, err
+	}
+	return observe(opts.Stats, s, false, c), nil
 }
 
 // OrderedByPrimaryKey implements Plan.
@@ -338,3 +458,6 @@ func (p *IntersectionPlan) String() string {
 	}
 	return fmt.Sprintf("Intersection(%s)", strings.Join(parts, " ∩ "))
 }
+
+// Label implements Plan.
+func (p *IntersectionPlan) Label() string { return "Intersection" }

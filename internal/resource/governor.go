@@ -397,6 +397,20 @@ func (g *Governor) LimitsFor(tenant string) Limits {
 	return g.effectiveLocked(tenant)
 }
 
+// Leases returns a copy of the lease-derived limit overlays currently
+// installed (SetLease), keyed by tenant — the metrics registry exports these
+// as per-tenant gauges so operators can see each server's held slice of the
+// global budget.
+func (g *Governor) Leases() map[string]Limits {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]Limits, len(g.leased))
+	for t, l := range g.leased {
+		out[t] = l
+	}
+	return out
+}
+
 // LoadLimits replaces the governor's configured per-tenant limits with the
 // store's contents and applies them to live tenant state, so a fleet of
 // stateless servers sharing one LimitsStore enforces identical quotas with

@@ -98,6 +98,10 @@ type NoisyPhase struct {
 	VictimP95 time.Duration
 	Elapsed   time.Duration // measured wall time of the phase's worker loops
 	Indexed   int           // records the background index build processed
+	// IO is the phase's database-level I/O delta (fdb Snapshot/Delta over the
+	// worker loops): what the whole phase — victims, aggressor, index build —
+	// cost the cluster, independent of per-tenant accounting.
+	IO fdb.MetricsSnapshot
 }
 
 // NoisyStats is the whole experiment's outcome.
@@ -594,6 +598,7 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, spec noisySpec) (NoisyP
 
 	var workers []*worker
 	var wg sync.WaitGroup
+	ioBase := c.db.Metrics().Snapshot()
 	start := time.Now()
 	deadline := start.Add(cfg.Phase)
 	spawn := func(tenant string, workerIdx, recsPerTxn, recSize int, record bool) {
@@ -644,6 +649,7 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, spec noisySpec) (NoisyP
 
 	phase, err := mergePhase(spec.name, cfg, workers, elapsed, acct)
 	phase.Indexed = indexed
+	phase.IO = c.db.Metrics().Snapshot().Delta(ioBase)
 	return phase, err
 }
 
@@ -726,6 +732,7 @@ func runPersistedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, bool, 
 
 	var workers []*worker
 	var wg sync.WaitGroup
+	ioBase := c.db.Metrics().Snapshot()
 	start := time.Now()
 	deadline := start.Add(cfg.Phase)
 	spawn := func(tenant string, runner *recordlayer.Runner, workerIdx, recsPerTxn, recSize int, record bool) {
@@ -751,6 +758,7 @@ func runPersistedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, bool, 
 	elapsed := time.Since(start)
 
 	phase, err := mergePhase("persisted", cfg, workers, elapsed, acctA, acctB)
+	phase.IO = c.db.Metrics().Snapshot().Delta(ioBase)
 	return phase, consistent, err
 }
 
@@ -869,6 +877,7 @@ func runDistributedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, dist
 
 	var workers []*worker
 	var wg sync.WaitGroup
+	ioBase := c.db.Metrics().Snapshot()
 	start := time.Now()
 	deadline := start.Add(cfg.Phase)
 	spawn := func(tenant string, runner *recordlayer.Runner, workerIdx, recsPerTxn, recSize int, record bool) {
@@ -914,6 +923,7 @@ func runDistributedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, dist
 	out.exportConsistent = total == live
 
 	phase, err := mergePhase("distributed", cfg, workers, elapsed, accts...)
+	phase.IO = c.db.Metrics().Snapshot().Delta(ioBase)
 	return phase, out, err
 }
 

@@ -26,13 +26,15 @@ type PlanCache struct {
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits   int64
-	misses int64
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type planEntry struct {
-	key string
-	p   plan.Plan
+	key  string
+	p    plan.Plan
+	hits int64
 }
 
 // NewPlanCache creates a cache holding at most max plans (default 128 when
@@ -61,8 +63,10 @@ func (c *PlanCache) Get(key string) (plan.Plan, bool) {
 		return nil, false
 	}
 	c.hits++
+	e := el.Value.(*planEntry)
+	e.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*planEntry).p, true
+	return e.p, true
 }
 
 // Put inserts or refreshes a plan, evicting the least recently used entry
@@ -80,18 +84,41 @@ func (c *PlanCache) Put(key string, p plan.Plan) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*planEntry).key)
+		c.evictions++
 	}
 }
 
 // PlanCacheStats is a snapshot of cache effectiveness counters.
 type PlanCacheStats struct {
-	Hits, Misses int64
-	Size         int
+	Hits, Misses, Evictions int64
+	Size                    int
 }
 
-// Stats returns a snapshot of hit/miss counters and current size.
+// Stats returns a snapshot of hit/miss/eviction counters and current size.
 func (c *PlanCache) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len()}
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Size: c.order.Len()}
+}
+
+// PlanCacheEntry describes one cached plan for tooling (`rl plans`).
+type PlanCacheEntry struct {
+	// Fingerprint is the cache key: schema version + canonical query string.
+	Fingerprint string
+	// Plan is the cached plan's rendering.
+	Plan string
+	// Hits counts cache hits served by this entry.
+	Hits int64
+}
+
+// Entries lists the cached plans from most to least recently used.
+func (c *PlanCache) Entries() []PlanCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PlanCacheEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		out = append(out, PlanCacheEntry{Fingerprint: e.key, Plan: e.p.String(), Hits: e.hits})
+	}
+	return out
 }

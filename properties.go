@@ -60,6 +60,12 @@ type ExecuteProperties struct {
 	// batch later than a sequential scan would show it. Set it for executions
 	// where that footprint matters more than batch-boundary latency.
 	NoReadAhead bool
+	// SlowQueryThreshold marks this execution slow when it runs at least this
+	// long from ExecutePlan to the stream's halt; slow executions are captured
+	// in the provider's SlowQueries log (ProviderOptions.SlowQueries) with
+	// their plan, row count, halt reason, and trace summary. Zero disables the
+	// threshold for this execution (the latency histogram still observes it).
+	SlowQueryThreshold time.Duration
 	// Continuation resumes a previous execution of the same query from
 	// where it halted.
 	Continuation []byte

@@ -4,10 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"recordlayer/internal/fdb"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/resource"
 )
 
@@ -32,6 +33,10 @@ type RunnerOptions struct {
 	// Sleep waits between attempts and must honor ctx cancellation; tests
 	// inject an instant version. The default uses a timer.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Now supplies wall-clock readings for transaction-latency accounting
+	// (Usage.TxnTime) and the runner's trace spans; tests inject a manual
+	// clock so span assertions are exact. Defaults to time.Now.
+	Now func() time.Time
 	// Governor enforces per-tenant admission control: when the context
 	// carries a tenant (WithTenant), each Run/ReadRun acquires admission
 	// before its first attempt — failing fast with *QuotaExceededError when
@@ -63,6 +68,9 @@ func (o RunnerOptions) withDefaults() RunnerOptions {
 	if o.Sleep == nil {
 		o.Sleep = sleepCtx
 	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	if o.Accountant == nil && o.Governor != nil {
 		o.Accountant = o.Governor.Accountant()
 	}
@@ -80,11 +88,15 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// RunnerMetrics is a point-in-time snapshot of a Runner's counters.
+// RunnerMetrics is a point-in-time snapshot of a Runner's counters. Counters
+// fold in once per *completed* execution under one lock, so a snapshot is
+// always internally consistent — it can never show an execution's retries
+// without the run (or failure) they belonged to.
 type RunnerMetrics struct {
 	// Runs counts completed successful executions (Run + ReadRun).
 	Runs int64
-	// Retries counts re-executions after retryable errors.
+	// Retries counts re-executions after retryable errors, recorded when
+	// their execution completes.
 	Retries int64
 	// Failures counts executions that returned an error to the caller.
 	Failures int64
@@ -113,9 +125,8 @@ type Runner struct {
 	db   *fdb.Database
 	opts RunnerOptions
 
-	runs     atomic.Int64
-	retries  atomic.Int64
-	failures atomic.Int64
+	mu sync.Mutex
+	m  RunnerMetrics
 }
 
 // NewRunner creates a runner over db. A zero RunnerOptions uses defaults.
@@ -126,13 +137,23 @@ func NewRunner(db *fdb.Database, opts RunnerOptions) *Runner {
 // Database returns the underlying database (for metrics and tooling).
 func (r *Runner) Database() *fdb.Database { return r.db }
 
-// Metrics returns a snapshot of the runner's counters.
+// Metrics returns a single atomically-assembled snapshot of the runner's
+// counters: the read happens under the same lock every completed execution
+// updates under, so concurrent Run calls can never tear it.
 func (r *Runner) Metrics() RunnerMetrics {
-	return RunnerMetrics{
-		Runs:     r.runs.Load(),
-		Retries:  r.retries.Load(),
-		Failures: r.failures.Load(),
-	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m
+}
+
+// record folds one completed execution into the counters as one atomic
+// update.
+func (r *Runner) record(runs, retries, failures int64) {
+	r.mu.Lock()
+	r.m.Runs += runs
+	r.m.Retries += retries
+	r.m.Failures += failures
+	r.mu.Unlock()
 }
 
 // Run executes fn transactionally: fn is retried on retryable errors and its
@@ -153,8 +174,10 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 	// The latency clock starts before admission: Usage.TxnTime documents
 	// end-to-end latency including retries and backoff, and the queue wait a
 	// throttled tenant experiences is exactly the signal the governor's
-	// accounting must not hide.
-	start := time.Now()
+	// accounting must not hide. The admission trace span uses the same clock
+	// readings, so span duration and TxnTime queue wait agree exactly.
+	start := r.opts.Now()
+	trace := obs.FromContext(ctx)
 	var meter *resource.Meter
 	if tenant, ok := resource.TenantFrom(ctx); ok {
 		if r.opts.Accountant != nil {
@@ -166,45 +189,73 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 			// is the same unit of tenant work, not a new request. The
 			// admission's priority class rides the context (WithPriority).
 			release, err := r.opts.Governor.Admit(ctx, tenant)
+			if trace != nil {
+				attr := ""
+				if err != nil {
+					attr = err.Error()
+				}
+				trace.Add(obs.SpanAdmit, start.UnixNano(), r.opts.Now().UnixNano(), 0, attr)
+			}
 			if err != nil {
-				r.failures.Add(1)
+				r.record(0, 0, 1)
 				return nil, err
 			}
 			defer release()
 		}
 	}
 	backoff := r.opts.InitialBackoff
+	retries := int64(0)
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			r.failures.Add(1)
+			r.record(0, retries, 1)
 			return nil, err
 		}
 		tr := r.db.CreateTransaction()
+		var a0 int64
+		if trace != nil {
+			tr.SetTrace(trace)
+			a0 = r.opts.Now().UnixNano()
+		}
 		v, err := fn(ctx, tr)
 		if err == nil && commit {
 			err = tr.Commit()
 		}
+		if trace != nil {
+			attr := fmt.Sprintf("attempt=%d", attempt)
+			if err != nil {
+				attr += " err=" + err.Error()
+			}
+			trace.Add(obs.SpanAttempt, a0, r.opts.Now().UnixNano(), 0, attr)
+		}
 		if err == nil {
-			r.runs.Add(1)
-			meter.RecordTxn(time.Since(start))
+			r.record(1, retries, 0)
+			meter.RecordTxn(r.opts.Now().Sub(start))
 			return v, nil
 		}
 		if fdb.IsConflict(err) {
 			meter.RecordConflict()
 		}
 		if !fdb.IsRetryable(err) {
-			r.failures.Add(1)
+			r.record(0, retries, 1)
 			return nil, err
 		}
 		if attempt >= r.opts.MaxAttempts {
-			r.failures.Add(1)
+			r.record(0, retries, 1)
 			return nil, &RetryLimitError{Attempts: attempt, Last: err}
 		}
-		r.retries.Add(1)
+		retries++
 		delay := backoff/2 + time.Duration(r.opts.Rand()*float64(backoff/2))
-		if err := r.opts.Sleep(ctx, delay); err != nil {
-			r.failures.Add(1)
-			return nil, err
+		var b0 int64
+		if trace != nil {
+			b0 = r.opts.Now().UnixNano()
+		}
+		if serr := r.opts.Sleep(ctx, delay); serr != nil {
+			r.record(0, retries, 1)
+			return nil, serr
+		}
+		if trace != nil {
+			trace.Add(obs.SpanBackoff, b0, r.opts.Now().UnixNano(), 0,
+				fmt.Sprintf("attempt=%d delay=%s cause=%v", attempt, delay, err))
 		}
 		backoff *= 2
 		if backoff > r.opts.MaxBackoff {

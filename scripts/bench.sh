@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmarks twice — instant reads, then a 100µs-per-read
-# simulated I/O latency profile — and writes BENCH_6.json with ns/op, B/op,
+# simulated I/O latency profile — and writes BENCH_7.json with ns/op, B/op,
 # allocs/op, simulator reads per op, and simulated I/O wait per op. The
-# committed BENCH_6.json is the baseline future PRs compare against; CI
-# regenerates and uploads a fresh one per run and prints a comparison table
-# against the committed BENCH_5.json baseline.
+# committed BENCH_7.json is the baseline future PRs compare against; CI
+# regenerates and uploads a fresh one per run and compares against the
+# committed BENCH_6.json baseline, failing on zero-latency regressions over
+# 2% — the "observability off must be free" budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 pat='BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkSaveRecord|BenchmarkTuplePack'
 
 # 3s per benchmark: the zero-latency ops are microseconds each, so the
@@ -47,7 +48,7 @@ END {
 
 {
   echo '{'
-  echo '  "suite": "distributed quota leases + priced commits/GRV; zero-latency batch-save fast path",'
+  echo '  "suite": "tracing + metrics + query stats instrumented; observability off on the bench path",'
   echo '  "benchmarks": ['
   parse "$raw0"
   echo '  ],'
@@ -58,6 +59,10 @@ END {
 } > "$out"
 echo "wrote $out"
 
-if [ -f BENCH_5.json ]; then
-  go run ./scripts/benchcmp -old BENCH_5.json -new "$out"
+# Informational only: the committed baseline was recorded on different
+# hardware, so machine drift swamps a tight threshold here. The enforced <2%
+# overhead gate is CI's same-machine A/B against the parent commit
+# (benchcmp -maxregress 2 in .github/workflows/ci.yml).
+if [ -f BENCH_6.json ]; then
+  go run ./scripts/benchcmp -old BENCH_6.json -new "$out"
 fi

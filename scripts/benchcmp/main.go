@@ -49,8 +49,10 @@ func find(bs []benchmark, name string) *benchmark {
 }
 
 func main() {
-	oldPath := flag.String("old", "BENCH_4.json", "baseline bench JSON")
-	newPath := flag.String("new", "BENCH_5.json", "candidate bench JSON")
+	oldPath := flag.String("old", "BENCH_6.json", "baseline bench JSON")
+	newPath := flag.String("new", "BENCH_7.json", "candidate bench JSON")
+	maxRegress := flag.Float64("maxregress", 0,
+		"fail (exit 1) if any zero-latency benchmark's ns/op regresses by more than this percent (0 disables)")
 	flag.Parse()
 	oldF, err := load(*oldPath)
 	if err != nil {
@@ -65,6 +67,7 @@ func main() {
 
 	fmt.Printf("\n=== zero-latency suite: %s vs %s ===\n", *newPath, *oldPath)
 	fmt.Printf("%-38s %14s %14s %9s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	var regressed []string
 	for _, nb := range newF.Benchmarks {
 		ob := find(oldF.Benchmarks, nb.Name)
 		if ob == nil {
@@ -74,6 +77,9 @@ func main() {
 		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
 		fmt.Printf("%-38s %14.0f %14.0f %+8.1f%% %12.0f %12.0f\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsPerOp, nb.AllocsPerOp)
+		if *maxRegress > 0 && delta > *maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s +%.1f%%", nb.Name, delta))
+		}
 	}
 
 	if len(newF.Latency100us) > 0 {
@@ -92,5 +98,13 @@ func main() {
 		if l != nil && b != nil && b.SimwaitPerOp > 0 {
 			fmt.Printf("batched saves: %.1fx less simulated wait than 50 sequential saves\n", l.SimwaitPerOp/b.SimwaitPerOp)
 		}
+	}
+
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: zero-latency regressions over %.1f%%:\n", *maxRegress)
+		for _, r := range regressed {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
 	}
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"recordlayer/internal/core"
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/keyspace"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/plan"
 	"recordlayer/internal/query"
 	"recordlayer/internal/resource"
@@ -37,6 +40,11 @@ type ProviderOptions struct {
 	// derives the tenant ID from the keyspace path values and meters into
 	// this accountant. Nil leaves such requests unmetered.
 	Accountant *resource.Accountant
+	// SlowQueries, when set, observes every query execution's latency into
+	// its histogram and captures structured summaries of executions over
+	// their ExecuteProperties.SlowQueryThreshold. Nil (the default) disables
+	// collection at zero cost on the execution path.
+	SlowQueries *obs.SlowQueryLog
 }
 
 // StoreProvider binds a schema, a store configuration, and a keyspace path
@@ -177,6 +185,13 @@ func (s *Store) ExecuteQuery(ctx context.Context, q Query, props ExecuteProperti
 // WithContinuation idiom) discards exactly props.Skip records once across
 // all pages rather than re-skipping on every transaction.
 func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProperties) (*RecordCursor, error) {
+	return s.executePlan(ctx, pl, props, nil)
+}
+
+// executePlan is ExecutePlan with an optional stats tree (ExplainQuery): when
+// stats is non-nil every plan node fills its positionally-stable node, so a
+// resumed page handed the same tree accumulates.
+func (s *Store) executePlan(ctx context.Context, pl plan.Plan, props ExecuteProperties, stats *obs.PlanStats) (*RecordCursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -195,6 +210,7 @@ func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProp
 		Snapshot:      props.Snapshot,
 		PipelineDepth: props.pipelineDepth(),
 		NoReadAhead:   props.NoReadAhead,
+		Stats:         stats,
 	})
 	if err != nil {
 		return nil, err
@@ -205,7 +221,71 @@ func (s *Store) ExecutePlan(ctx context.Context, pl plan.Plan, props ExecuteProp
 	if props.RowLimit > 0 {
 		c = cursor.Limit(c, props.RowLimit)
 	}
-	return &RecordCursor{ctx: ctx, inner: c}, nil
+	rc := &RecordCursor{ctx: ctx, inner: c}
+	if log := s.provider.opts.SlowQueries; log != nil {
+		clock := props.Clock
+		if clock == nil {
+			clock = time.Now
+		}
+		start := clock()
+		trace := obs.FromContext(ctx)
+		threshold := props.SlowQueryThreshold
+		rc.onHalt = func(rows int, reason cursor.NoNextReason) {
+			elapsed := clock().Sub(start)
+			slow := threshold > 0 && elapsed >= threshold
+			sq := obs.SlowQuery{Plan: pl.String(), Elapsed: elapsed, Rows: rows, Reason: reason.String()}
+			if slow {
+				sq.Trace = trace.Summary()
+			}
+			log.Observe(sq, slow)
+		}
+	}
+	return rc, nil
+}
+
+// ExplainQuery plans q through the provider's cache and executes it to
+// completion inside the store's transaction with statistics collection on —
+// EXPLAIN ANALYZE. The result is the plan tree annotated with live per-node
+// counters (rows in/out, attributed simulator reads and wait, continuation
+// pages) plus the transaction-level I/O the execution cost. Limits in props
+// apply per page: the query is resumed through its own continuations until
+// exhausted, so page-bounded executions show their page count.
+func (s *Store) ExplainQuery(ctx context.Context, q Query, props ExecuteProperties) (string, error) {
+	pl, err := s.provider.planFor(q)
+	if err != nil {
+		return "", err
+	}
+	stats := obs.NewPlanStats(pl.Label())
+	before := s.TxnStats()
+	rows := 0
+	props.Continuation = nil
+	for {
+		cur, err := s.executePlan(ctx, pl, props, stats)
+		if err != nil {
+			return "", err
+		}
+		for {
+			_, ok, err := cur.Next()
+			if err != nil {
+				return "", err
+			}
+			if !ok {
+				break
+			}
+			rows++
+		}
+		if cur.Exhausted() || cur.Continuation() == nil {
+			break
+		}
+		props = props.WithContinuation(cur.Continuation())
+	}
+	after := s.TxnStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n%s", pl.String(), stats.Render())
+	fmt.Fprintf(&b, "rows: %d\ntxn: keys_read=%d bytes_read=%d simwait=%s\n",
+		rows, after.KeysRead-before.KeysRead, after.BytesRead-before.BytesRead,
+		time.Duration(after.SimWaitNanos-before.SimWaitNanos))
+	return b.String(), nil
 }
 
 // Plan exposes the provider's cached planner for callers that want to
@@ -221,6 +301,10 @@ type RecordCursor struct {
 	reason cursor.NoNextReason
 	cont   []byte
 	done   bool
+
+	rows int
+	// onHalt fires once when the stream halts (slow-query observation).
+	onHalt func(rows int, reason cursor.NoNextReason)
 }
 
 // Next returns the next record. ok is false when the stream halts; the
@@ -243,8 +327,13 @@ func (c *RecordCursor) Next() (*Record, bool, error) {
 		c.done = true
 		c.reason = r.Reason
 		c.cont = r.Continuation
+		if c.onHalt != nil {
+			c.onHalt(c.rows, c.reason)
+			c.onHalt = nil
+		}
 		return nil, false, nil
 	}
+	c.rows++
 	c.cont = r.Continuation
 	return r.Value, true, nil
 }
