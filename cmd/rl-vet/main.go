@@ -1,0 +1,60 @@
+// Command rl-vet runs the repository's invariant analyzers (internal/lint)
+// over module packages, the way `go vet` runs its suite. Usage:
+//
+//	go run ./cmd/rl-vet ./...          # whole module (what CI does)
+//	go run ./cmd/rl-vet ./internal/fdb # one package
+//	go run ./cmd/rl-vet -list          # show the suite
+//
+// Exit status is 1 when any finding or malformed lint:allow directive
+// survives, 2 on loader failure. Findings print as
+// file:line:col: analyzer: message, so editors and CI annotate them like vet
+// output. See LINTING.md for the invariant behind each analyzer and the
+// allowlist rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recordlayer/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rl-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, pkg := range pkgs {
+		diags, errs := lint.RunPackage(pkg, analyzers)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "%v\n", e)
+			bad = true
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -299,14 +299,14 @@ func usageCmd() {
 			}{{"acme", 4 + 2*si}, {"initech", 2}, {"freeloader", 1 + window}} {
 				tctx := recordlayer.WithTenant(ctx, load.tenant)
 				for t := 0; t < load.txns; t++ {
+					base := id // a conflict retry reuses the same ids, not fresh ones
 					_, err := runner.Run(tctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
 						s, err := provider.Open(ctx, tr, load.tenant)
 						if err != nil {
 							return nil, err
 						}
 						for j := 0; j < 3; j++ {
-							rec := message.New(note).MustSet("id", id).MustSet("zone", "z")
-							id++
+							rec := message.New(note).MustSet("id", base+int64(j)).MustSet("zone", "z")
 							if _, err := s.SaveRecord(rec); err != nil {
 								return nil, err
 							}
@@ -314,6 +314,7 @@ func usageCmd() {
 						return nil, nil
 					})
 					must(err)
+					id += 3
 				}
 			}
 			n, err := exp.Export()
@@ -429,6 +430,10 @@ func tour() {
 	section("3. Continuations: stateless paging (§3.1)")
 	q := recordlayer.Query{RecordTypes: []string{"Task"}}
 	props := recordlayer.ExecuteProperties{RowLimit: 12}
+	type page struct {
+		cur  *recordlayer.RecordCursor
+		rows int
+	}
 	pages := 0
 	for {
 		res, err := runner.ReadRun(ctx, func(ctx context.Context, tr *fdb.Transaction) (interface{}, error) {
@@ -444,16 +449,16 @@ func tour() {
 			if err != nil {
 				return nil, err
 			}
-			pages++
-			fmt.Printf("  page %d: %d records (%v)\n", pages, len(recs), cur.NoNextReason())
-			return cur, nil
+			return page{cur, len(recs)}, nil
 		})
 		must(err)
-		cur := res.(*recordlayer.RecordCursor)
-		if cur.Exhausted() {
+		pg := res.(page)
+		pages++
+		fmt.Printf("  page %d: %d records (%v)\n", pages, pg.rows, pg.cur.NoNextReason())
+		if pg.cur.Exhausted() {
 			break
 		}
-		props = props.WithContinuation(cur.Continuation())
+		props = props.WithContinuation(pg.cur.Continuation())
 	}
 
 	section("4. Resource limits: bounded work per request (§8.2)")

@@ -300,6 +300,20 @@
 // the CloudKit layer (internal/cloudkit) and the Cassandra baseline
 // (internal/cassandra).
 //
+// # Invariants
+//
+// The conventions the layers depend on are mechanically enforced, not just
+// documented: closures passed to Runner.Run/Database.Transact must be safe
+// to re-execute on conflict retry, every GetAsync/GetRangeAsync future must
+// be awaited on all paths, library code must thread the caller's context
+// and injected clock rather than reaching for context.Background or
+// time.Now, reads in the record-store and index layers must flow through
+// the tenant meter, and obs recording calls must hide behind a nil check so
+// observability-off costs one pointer compare. cmd/rl-vet (a stdlib-only
+// go/analysis-style suite in internal/lint) checks all six invariants over
+// the whole tree in CI; LINTING.md documents each analyzer, its fixture,
+// and the reasoned //lint:allow audit trail.
+//
 // See README.md for a guided overview, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for the paper-versus-measured record of every table and
 // figure. The root bench_test.go regenerates each experiment as a Go

@@ -174,7 +174,7 @@ func (o *OnlineIndexer) buildBatch(batch int) (int, bool, error) {
 		}
 		ictx := s.indexContext(ix)
 		progressKey := s.space.Pack(tuple.Tuple{progressSub, o.IndexName})
-		cont, err := tr.Get(progressKey)
+		cont, err := s.meteredGet(progressKey)
 		if err != nil {
 			return nil, err
 		}

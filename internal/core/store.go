@@ -126,7 +126,7 @@ func Open(tr *fdb.Transaction, md *metadata.MetaData, space subspace.Subspace, o
 	s := &Store{tr: tr, md: md, space: space, cfg: opts.Config.withDefaults(),
 		meter: opts.Meter, trace: tr.Trace(), maintainers: make(map[string]index.Maintainer),
 		indexStates: make(map[string]metadata.IndexState)}
-	raw, err := tr.Get(s.headerKey())
+	raw, err := s.meteredGet(s.headerKey())
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +242,7 @@ func (s *Store) applyMetaDataChanges() error {
 // countRecordsUpTo counts primary record pairs, stopping at limit.
 func (s *Store) countRecordsUpTo(limit int) (int, error) {
 	begin, end := s.space.RangeForTuple(tuple.Tuple{recordsSub})
-	kvs, _, err := s.tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{Limit: limit})
+	kvs, _, err := s.meteredSnapshotRange(begin, end, fdb.RangeOptions{Limit: limit})
 	if err != nil {
 		return 0, err
 	}
@@ -265,7 +265,7 @@ func (s *Store) IndexState(name string) (metadata.IndexState, error) {
 	if st, ok := s.indexStates[name]; ok {
 		return st, nil
 	}
-	raw, err := s.tr.Get(s.stateKey(name))
+	raw, err := s.meteredGet(s.stateKey(name))
 	if err != nil {
 		return 0, err
 	}

@@ -58,19 +58,22 @@ func RunFigure5(w io.Writer) (Figure5Result, error) {
 			return nil, fmt.Errorf("rank(e): %v %v", ok, err)
 		}
 		res.RankOfE = r
-		// Dump layers for the figure.
+		// Dump layers for the figure, built into an attempt-local map so a
+		// conflict retry starts fresh instead of accumulating stale entries.
+		layers := map[int]map[string]int64{}
 		for level := 0; level < 3; level++ {
-			res.Layers[level] = map[string]int64{}
+			layers[level] = map[string]int64{}
 			for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
 				rr, ok, err := peekCount(tr, rs, level, k)
 				if err != nil {
 					return nil, err
 				}
 				if ok {
-					res.Layers[level][k] = rr
+					layers[level][k] = rr
 				}
 			}
 		}
+		res.Layers = layers
 		return nil, nil
 	})
 	if err != nil {

@@ -195,6 +195,7 @@ func RunTable1(w io.Writer) (Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		hits := 0
 		for {
 			r, err := entries.Next()
 			if err != nil {
@@ -203,8 +204,9 @@ func RunTable1(w io.Writer) (Table1Result, error) {
 			if !r.OK {
 				break
 			}
-			res.RecordLayerFreshHits++
+			hits++
 		}
+		res.RecordLayerFreshHits = hits
 		return nil, nil
 	})
 	if err != nil {

@@ -212,7 +212,7 @@ func (d *Database) waitUntil(ready int64) int64 {
 	if ready <= now {
 		return 0
 	}
-	time.Sleep(time.Duration(ready - now))
+	d.opts.Sleep(time.Duration(ready - now))
 	return ready - now
 }
 

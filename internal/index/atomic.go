@@ -174,7 +174,7 @@ func (m *AtomicMaintainer) applyCounted(ctx *Context, oldEntries, newEntries []t
 
 // GetInt64 reads an integer aggregate (COUNT, SUM, ...) for a group key.
 func (m *AtomicMaintainer) GetInt64(ctx *Context, group tuple.Tuple) (int64, error) {
-	raw, err := ctx.Tr.Get(ctx.Space.Pack(group))
+	raw, err := ctx.meteredGet(ctx.Space.Pack(group))
 	if err != nil {
 		return 0, err
 	}
@@ -187,7 +187,7 @@ func (m *AtomicMaintainer) GetInt64(ctx *Context, group tuple.Tuple) (int64, err
 // GetTuple reads a MAX_EVER/MIN_EVER aggregate for a group key; ok=false
 // when no value was ever written.
 func (m *AtomicMaintainer) GetTuple(ctx *Context, group tuple.Tuple) (tuple.Tuple, bool, error) {
-	raw, err := ctx.Tr.Get(ctx.Space.Pack(group))
+	raw, err := ctx.meteredGet(ctx.Space.Pack(group))
 	if err != nil || raw == nil {
 		return nil, false, err
 	}

@@ -63,6 +63,36 @@ type Context struct {
 	Meter *resource.Meter
 }
 
+// meteredGet reads one index key and accounts the fetched pair to the
+// tenant meter.
+func (c *Context) meteredGet(key []byte) ([]byte, error) {
+	raw, err := c.Tr.Get(key) //lint:allow meteredtxn audited helper: the package's raw point read, metered below
+	if err != nil || raw == nil {
+		return raw, err
+	}
+	c.Meter.RecordRead(1, len(key)+len(raw))
+	return raw, nil
+}
+
+// issueRangeAsync starts an index range read without awaiting it, so probe
+// batches overlap their I/O windows; every issue must be paired with
+// meterRangeKVs on the awaited result.
+func (c *Context) issueRangeAsync(begin, end []byte, o fdb.RangeOptions) *fdb.FutureRange {
+	return c.Tr.GetRangeAsync(begin, end, o) //lint:allow meteredtxn issue half of an issue/await pair; callers meter the awaited pairs via meterRangeKVs
+}
+
+// meterRangeKVs accounts one awaited probe result to the tenant meter.
+func (c *Context) meterRangeKVs(kvs []fdb.KeyValue) {
+	if len(kvs) == 0 {
+		return
+	}
+	nbytes := 0
+	for _, kv := range kvs {
+		nbytes += len(kv.Key) + len(kv.Value)
+	}
+	c.Meter.RecordRead(len(kvs), nbytes)
+}
+
 // meteredAtomic applies an atomic mutation to an index key, accounting it as
 // one written pair.
 func (c *Context) meteredAtomic(typ fdb.MutationType, key, param []byte) error {

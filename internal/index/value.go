@@ -154,7 +154,7 @@ func (m *ValueMaintainer) checkUniqueAll(ctx *Context, added []tuple.Tuple, pk t
 	for i, t := range added {
 		key, _ := m.splitEntry(t)
 		begin, end := ctx.Space.RangeForTuple(key)
-		probes[i] = ctx.Tr.GetRangeAsync(begin, end, fdb.RangeOptions{Limit: 2})
+		probes[i] = ctx.issueRangeAsync(begin, end, fdb.RangeOptions{Limit: 2})
 	}
 	for i, t := range added {
 		key, _ := m.splitEntry(t)
@@ -162,6 +162,7 @@ func (m *ValueMaintainer) checkUniqueAll(ctx *Context, added []tuple.Tuple, pk t
 		if err != nil {
 			return err
 		}
+		ctx.meterRangeKVs(kvs)
 		for _, kv := range kvs {
 			e, err := m.DecodeEntry(ctx.Space, kv)
 			if err != nil {

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FutureAwait checks that every FutureValue/FutureRange issued by
+// GetAsync/GetRangeAsync is awaited (.Get) on all control-flow paths before
+// the function returns. An abandoned future skews simwait accounting (its
+// in-flight slot ages out instead of being charged) and, on the write path,
+// commit flushes it implicitly — hiding latency the caller thinks it
+// overlapped. Futures that escape the function (stored in a struct, slice, or
+// map, passed along, or returned) are assumed to be awaited by their new
+// owner and are not tracked.
+var FutureAwait = &Analyzer{
+	Name: "futureawait",
+	Doc:  "every GetAsync/GetRangeAsync future must be awaited (.Get) on all paths before the function returns",
+	Run:  runFutureAwait,
+}
+
+func isIssueCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "recordlayer/internal/fdb" {
+		return false
+	}
+	return fn.Name() == "GetAsync" || fn.Name() == "GetRangeAsync"
+}
+
+func runFutureAwait(p *Pass) error {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		// Visit every function body; nested closures are analyzed as their
+		// own functions (a future crossing a closure boundary escapes).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncFutures(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncFutures(p, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncFutures analyzes the futures issued directly in body (not in
+// nested closures).
+func checkFuncFutures(p *Pass, body *ast.BlockStmt) {
+	parent := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested closures are separate functions
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isIssueCall(p.Info, call) {
+			return true
+		}
+		checkIssueSite(p, body, call, parent)
+		return true
+	})
+}
+
+func checkIssueSite(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, parent map[ast.Node]ast.Node) {
+	up := parent[call]
+	for {
+		if pe, ok := up.(*ast.ParenExpr); ok {
+			up = parent[pe]
+			continue
+		}
+		break
+	}
+	switch pn := up.(type) {
+	case *ast.SelectorExpr:
+		// tr.GetAsync(k).Get() — immediately awaited (any chained method
+		// call consumes the future).
+		return
+	case *ast.ExprStmt:
+		p.Reportf(call.Pos(), "future discarded at issue: the read's simulated wait is never charged to this path; await it with .Get() or drop the Async variant")
+		return
+	case *ast.AssignStmt:
+		// Find which LHS receives this call.
+		idx := -1
+		for i, r := range pn.Rhs {
+			if ast.Unparen(r) == call {
+				idx = i
+			}
+		}
+		if idx < 0 || idx >= len(pn.Lhs) {
+			return // part of a larger expression: escapes
+		}
+		lhs, ok := ast.Unparen(pn.Lhs[idx]).(*ast.Ident)
+		if !ok {
+			return // stored into a field/slot: escapes to its owner
+		}
+		if lhs.Name == "_" {
+			p.Reportf(call.Pos(), "future assigned to _: never awaited; await it with .Get() or drop the Async variant")
+			return
+		}
+		obj := p.Info.Defs[lhs]
+		if obj == nil {
+			obj = p.Info.Uses[lhs]
+		}
+		if obj == nil {
+			return
+		}
+		checkTrackedFuture(p, body, call, pn, obj, parent)
+	case *ast.ValueSpec:
+		for i, v := range pn.Values {
+			if ast.Unparen(v) == call && i < len(pn.Names) {
+				if obj := p.Info.Defs[pn.Names[i]]; obj != nil {
+					checkTrackedFuture(p, body, call, pn, obj, parent)
+				}
+			}
+		}
+	default:
+		// Call argument, composite literal, return value, ... — the future
+		// escapes; its new owner is responsible for the await.
+	}
+}
+
+// futureUse classifies how a statement (or expression subtree) touches the
+// tracked future variable.
+type futureUse int
+
+const (
+	useNone futureUse = iota
+	useAwait
+	useEscape
+)
+
+// useIn scans a subtree for uses of obj: receiver of a method call counts as
+// an await, any other read counts as an escape (conservatively assumed to
+// hand the future to an owner who awaits it). Assignment targets don't count.
+func useIn(p *Pass, root ast.Node, obj types.Object) futureUse {
+	use := useNone
+	ast.Inspect(root, func(n ast.Node) bool {
+		if use == useEscape {
+			return false
+		}
+		// v.Get(...) or any v.Method(...): an await (futures expose only
+		// await-shaped methods).
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					if use == useNone {
+						use = useAwait
+					}
+					// The receiver ident is consumed; walk args only.
+					for _, a := range call.Args {
+						if u := useIn(p, a, obj); u > use {
+							use = u
+						}
+					}
+					return false
+				}
+			}
+		}
+		// Assignment LHS occurrences don't consume the future.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, r := range as.Rhs {
+				if u := useIn(p, r, obj); u > use {
+					use = u
+				}
+			}
+			for _, l := range as.Lhs {
+				// Index/selector bases on the LHS still read the variable.
+				if _, isIdent := ast.Unparen(l).(*ast.Ident); !isIdent {
+					if u := useIn(p, l, obj); u > use {
+						use = u
+					}
+				}
+			}
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			use = useEscape
+		}
+		return true
+	})
+	return use
+}
+
+// flowOutcome is the result of walking a statement region.
+type flowOutcome int
+
+const (
+	flowFallthru flowOutcome = iota // region ends with the future still pending
+	flowAwaited                     // every path through the region awaits (or escapes)
+	flowBad                         // some path returns without awaiting
+)
+
+type flowChecker struct {
+	p      *Pass
+	obj    types.Object
+	badPos token.Pos
+}
+
+func (fc *flowChecker) seq(stmts []ast.Stmt) flowOutcome {
+	for _, s := range stmts {
+		switch fc.stmt(s) {
+		case flowAwaited:
+			return flowAwaited
+		case flowBad:
+			return flowBad
+		}
+	}
+	return flowFallthru
+}
+
+func (fc *flowChecker) stmt(s ast.Stmt) flowOutcome {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if useIn(fc.p, s, fc.obj) != useNone {
+			return flowAwaited
+		}
+		fc.badPos = s.Pos()
+		return flowBad
+	case *ast.DeferStmt:
+		// defer f.Get() covers every later exit path.
+		if useIn(fc.p, s, fc.obj) != useNone {
+			return flowAwaited
+		}
+		return flowFallthru
+	case *ast.GoStmt:
+		if useIn(fc.p, s, fc.obj) != useNone {
+			return flowAwaited // handed to a goroutine: escapes
+		}
+		return flowFallthru
+	case *ast.IfStmt:
+		if s.Init != nil && useIn(fc.p, s.Init, fc.obj) != useNone {
+			return flowAwaited
+		}
+		if useIn(fc.p, s.Cond, fc.obj) != useNone {
+			return flowAwaited
+		}
+		thenO := fc.seq(s.Body.List)
+		elseO := flowFallthru
+		if s.Else != nil {
+			elseO = fc.stmt(s.Else)
+		}
+		if thenO == flowBad || elseO == flowBad {
+			return flowBad
+		}
+		if thenO == flowAwaited && elseO == flowAwaited {
+			return flowAwaited
+		}
+		return flowFallthru
+	case *ast.BlockStmt:
+		return fc.seq(s.List)
+	case *ast.LabeledStmt:
+		return fc.stmt(s.Stmt)
+	case *ast.ForStmt:
+		return fc.loopBody(s.Body)
+	case *ast.RangeStmt:
+		if useIn(fc.p, s.X, fc.obj) != useNone {
+			return flowAwaited
+		}
+		return fc.loopBody(s.Body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return fc.switchLike(s)
+	case *ast.BranchStmt:
+		return flowFallthru
+	default:
+		switch useIn(fc.p, s, fc.obj) {
+		case useAwait, useEscape:
+			return flowAwaited
+		}
+		return flowFallthru
+	}
+}
+
+// loopBody treats an await anywhere in a loop as satisfying (optimistic: the
+// loop is assumed to run), but still surfaces returns-without-await inside it.
+func (fc *flowChecker) loopBody(body *ast.BlockStmt) flowOutcome {
+	switch fc.seq(body.List) {
+	case flowBad:
+		return flowBad
+	case flowAwaited:
+		return flowAwaited
+	}
+	return flowFallthru
+}
+
+func (fc *flowChecker) switchLike(s ast.Stmt) flowOutcome {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Tag != nil && useIn(fc.p, s.Tag, fc.obj) != useNone {
+			return flowAwaited
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	allAwait := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			body = c.Body
+		}
+		switch fc.seq(body) {
+		case flowBad:
+			return flowBad
+		case flowFallthru:
+			allAwait = false
+		}
+	}
+	if allAwait && hasDefault {
+		return flowAwaited
+	}
+	return flowFallthru
+}
+
+// checkTrackedFuture verifies a future assigned to a local variable: if it
+// never escapes, every path from the issue statement to the function's exit
+// must pass a .Get().
+func checkTrackedFuture(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, issueStmt ast.Node, obj types.Object, parent map[ast.Node]ast.Node) {
+	fc := &flowChecker{p: p, obj: obj}
+
+	// Walk outward from the issue statement: scan the remainder of each
+	// enclosing block in turn. Falling off the end of the function body means
+	// an implicit return without an await.
+	node := issueStmt
+	for {
+		up := parent[node]
+		if up == nil {
+			break
+		}
+		if blk, ok := up.(*ast.BlockStmt); ok {
+			idx := -1
+			for i, s := range blk.List {
+				if s == node {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				switch fc.seq(blk.List[idx+1:]) {
+				case flowAwaited:
+					return
+				case flowBad:
+					p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before .Get() (see %s); await it on every path or let it escape to an owner that does",
+						objName(obj), p.Fset.Position(fc.badPos))
+					return
+				}
+			}
+			if blk == body {
+				p.Reportf(call.Pos(), "future %s is not awaited before the function returns; call .Get() on every path", objName(obj))
+				return
+			}
+		}
+		// Inside a case/comm clause: scan the clause's remaining statements.
+		if cc, ok := up.(*ast.CaseClause); ok {
+			if out := fc.seqAfter(cc.Body, node); out != flowFallthru {
+				if out == flowAwaited {
+					return
+				}
+				p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before .Get() (see %s)", objName(obj), p.Fset.Position(fc.badPos))
+				return
+			}
+		}
+		if cc, ok := up.(*ast.CommClause); ok {
+			if out := fc.seqAfter(cc.Body, node); out != flowFallthru {
+				if out == flowAwaited {
+					return
+				}
+				p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before .Get() (see %s)", objName(obj), p.Fset.Position(fc.badPos))
+				return
+			}
+		}
+		node = up
+	}
+	p.Reportf(call.Pos(), "future %s is not awaited before the function returns; call .Get() on every path", objName(obj))
+}
+
+func (fc *flowChecker) seqAfter(stmts []ast.Stmt, after ast.Node) flowOutcome {
+	for i, s := range stmts {
+		if s == after {
+			return fc.seq(stmts[i+1:])
+		}
+	}
+	return flowFallthru
+}
+
+func objName(obj types.Object) string { return obj.Name() }

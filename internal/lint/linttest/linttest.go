@@ -1,0 +1,136 @@
+// Package linttest runs analyzers over fixture files and checks their
+// findings against inline expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest but standard-library-only.
+//
+// A fixture line that must trigger a finding carries a trailing comment:
+//
+//	tr.Get(key) // want "bypasses tenant metering"
+//
+// The quoted string is a regexp matched against the diagnostic message; every
+// want must be matched by exactly the diagnostics on its line, and every
+// diagnostic must be claimed by a want. lint:allow directives work in
+// fixtures exactly as in real code, so the allowlist path is testable too.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"recordlayer/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want "re"` annotation.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture files under the pretend import path asPath
+// (so path-scoped analyzers fire), runs the analyzers, and fails t on any
+// mismatch between findings and `// want` annotations. moduleDir is where
+// `go list` resolves the fixtures' imports from — the module root.
+func Run(t *testing.T, moduleDir, asPath string, analyzers []*lint.Analyzer, files ...string) {
+	t.Helper()
+	pkg, err := lint.LoadFiles(moduleDir, asPath, files)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, errs := lint.RunPackage(pkg, analyzers)
+	for _, e := range errs {
+		t.Errorf("directive error: %v", e)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		if w := claim(wants, d.Pos.Filename, d.Pos.Line, d.Message); w == nil {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans fixture comments for want annotations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), m[1], err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// claim marks and returns the first unmatched want covering the diagnostic.
+func claim(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// Fixtures returns the .go files under the named testdata directory, fatal
+// when empty so a mis-pathed fixture dir cannot silently pass.
+func Fixtures(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixtures under %s (err=%v)", dir, err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// ModuleRoot walks up from the working directory to the enclosing go.mod —
+// fixture imports of recordlayer/... resolve from there.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

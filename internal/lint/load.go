@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked module package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns from dir,
+// returning every listed package (dependencies included). Export files come
+// from the build cache, so the loader needs no network and no GOPATH layout.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter resolves every import from compiler export data recorded by
+// `go list -export` — the same way cmd/vet's driver feeds its type checker.
+type exportImporter struct {
+	underlying types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{underlying: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	return i.underlying.Import(path)
+}
+
+func (i *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return i.underlying.ImportFrom(path, dir, mode)
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load lists the patterns from dir and returns every matched module package
+// parsed and type-checked from source (dependencies are consumed as export
+// data only). Test files are not loaded: the invariants govern library code,
+// and test code exercises forbidden states on purpose (see LINTING.md).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	roots := make([]listEntry, 0, len(entries))
+	for _, e := range entries {
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.Standard && e.Module != nil {
+			roots = append(roots, e)
+		}
+	}
+
+	var pkgs []*Package
+	for _, e := range roots {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		files := make([]*ast.File, 0, len(e.GoFiles))
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: newExportImporter(fset, exports)}
+		tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  e.ImportPath,
+			Dir:   e.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks an explicit file set as one package under
+// the given import path — the fixture harness's entry point. Imports are
+// resolved by listing them (plus their dependencies) with `go list -export`
+// from dir, so fixtures may import real module packages such as
+// recordlayer/internal/fdb.
+func LoadFiles(dir, asPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(filenames))
+	importSet := map[string]bool{}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[importPathOf(imp)] = true
+		}
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		patterns = append(patterns, p)
+	}
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		entries, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+			}
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: newExportImporter(fset, exports)}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", asPath, err)
+	}
+	return &Package{Path: asPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func importPathOf(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	return p[1 : len(p)-1] // strip quotes
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObsGuard enforces PR 7's "off must be free" rule: recording calls on the
+// observability sinks — (*obs.Trace).Add, (*obs.PlanStats).Add*, and
+// (*obs.SlowQueryLog).Observe — must sit behind the single-nil-check pattern,
+// because while the methods themselves are nil-safe, their *arguments* are
+// not free (clock reads, fmt.Sprintf, stats snapshots). Accepted guards:
+//
+//	if trace != nil { trace.Add(...) }          // enclosing nil check
+//	if t := obs.FromContext(ctx); t != nil {..} // init-form nil check
+//	if node == nil { return }                   // early-return guard earlier
+//	                                            // in the same function
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "obs recording calls must be nil-guarded — argument evaluation is not free when observability is off",
+	Run:  runObsGuard,
+}
+
+// guardedMethods maps obs receiver types to the recording methods whose call
+// sites must be guarded. Read-side methods (Spans, Entries, Render, ...) are
+// cold paths and stay unguarded.
+var guardedMethods = map[string]map[string]bool{
+	"Trace": {"Add": true},
+	"PlanStats": {
+		"AddPage": true, "AddRowIn": true, "AddRowOut": true, "AddIO": true,
+	},
+	"SlowQueryLog": {"Observe": true},
+}
+
+const obsPath = "recordlayer/internal/obs"
+
+func runObsGuard(p *Pass) error {
+	if p.Path == obsPath {
+		// The sinks' own methods implement the nil-safety the rule rests on.
+		return nil
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkObsCall(p, call, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkObsCall(p *Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return
+	}
+	named := namedRecv(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+		return
+	}
+	methods := guardedMethods[named.Obj().Name()]
+	if methods == nil || !methods[fn.Name()] {
+		return
+	}
+	recv := exprString(ast.Unparen(sel.X))
+	if nilGuarded(p, recv, call, stack) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s.%s() is not behind a nil check on %s; guard it so observability-off costs one pointer check (the \"off must be free\" rule)",
+		recv, fn.Name(), recv)
+}
+
+// nilGuarded walks the enclosing nodes looking for either an `if recv != nil`
+// ancestor or an earlier `if recv == nil { return }` statement in an
+// enclosing block, stopping at the function boundary.
+func nilGuarded(p *Pass, recv string, call *ast.CallExpr, stack []ast.Node) bool {
+	var child ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		switch n := n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.IfStmt:
+			// Guarded when the call is inside the *then* branch of a
+			// `recv != nil` check (or its init declares the receiver).
+			if containsNode(n.Body, child) && condChecksNotNil(n.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier `if recv == nil { return }` dominates the rest of
+			// the block.
+			for _, s := range n.List {
+				if s == child || containsNode(s, child) {
+					break
+				}
+				if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil &&
+					condChecksIsNil(ifs.Cond, recv) && endsInReturn(ifs.Body) {
+					return true
+				}
+			}
+		}
+		child = n
+	}
+	return false
+}
+
+func containsNode(root, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found || n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// condChecksNotNil reports whether cond (possibly an && chain) includes
+// `recv != nil`.
+func condChecksNotNil(cond ast.Expr, recv string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condChecksNotNil(c.X, recv) || condChecksNotNil(c.Y, recv)
+		case token.NEQ:
+			return nilCompare(c, recv)
+		}
+	}
+	return false
+}
+
+// condChecksIsNil reports whether cond (possibly an || chain) includes
+// `recv == nil`.
+func condChecksIsNil(cond ast.Expr, recv string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LOR:
+			return condChecksIsNil(c.X, recv) || condChecksIsNil(c.Y, recv)
+		case token.EQL:
+			return nilCompare(c, recv)
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether the comparison's operands are recv and nil (in
+// either order).
+func nilCompare(c *ast.BinaryExpr, recv string) bool {
+	x, y := exprString(ast.Unparen(c.X)), exprString(ast.Unparen(c.Y))
+	return (x == recv && y == "nil") || (y == recv && x == "nil")
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Fixture for the ctxpropagate analyzer. Type-checked by linttest under a
+// pretend *library* import path; never built into the module.
+package fixture
+
+import "context"
+
+type key struct{}
+
+// fresh severs everything riding the caller's context.
+func fresh() context.Context {
+	return context.Background() // want "context.Background\(\) in library code"
+}
+
+// todo is Background with a guiltier name.
+func todo() context.Context {
+	ctx := context.TODO() // want "context.TODO\(\) in library code"
+	return ctx
+}
+
+// threaded derives from the caller's context — the invariant's happy path.
+func threaded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, key{}, "v")
+}
+
+// allowedRoot: a reasoned allow directive suppresses the finding.
+func allowedRoot() context.Context {
+	return context.Background() //lint:allow ctxpropagate fixture: detached maintenance task owns its root context
+}

@@ -1,0 +1,14 @@
+// Fixture for malformed lint:allow directives: both shapes below are
+// themselves errors, and neither suppresses the finding on its line.
+package fixture
+
+import "context"
+
+func reasonless() context.Context {
+	return context.Background() //lint:allow ctxpropagate
+}
+
+func nameless() context.Context {
+	//lint:allow
+	return context.TODO()
+}

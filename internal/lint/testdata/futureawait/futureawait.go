@@ -1,0 +1,83 @@
+// Fixture for the futureawait analyzer. Type-checked by linttest under a
+// pretend import path; never built into the module.
+package fixture
+
+import "recordlayer/internal/fdb"
+
+// earlyReturn is the satellite-mandated case: an error path returns before
+// the future is awaited, abandoning its simulated wait.
+func earlyReturn(tr *fdb.Transaction, fail bool) ([]byte, error) {
+	fut := tr.GetAsync([]byte("a")) // want "may be abandoned"
+	if fail {
+		return nil, nil
+	}
+	return fut.Get()
+}
+
+// discarded: the future never even gets a name.
+func discarded(tr *fdb.Transaction) {
+	tr.GetAsync([]byte("a")) // want "future discarded at issue"
+}
+
+// blank: assigning to _ is a discard with extra steps.
+func blank(tr *fdb.Transaction) {
+	_ = tr.GetRangeAsync([]byte("a"), []byte("b"), fdb.RangeOptions{}) // want "assigned to _"
+}
+
+// maybeAwait: awaited on one branch, falls off the end on the other.
+func maybeAwait(tr *fdb.Transaction, b bool) {
+	fut := tr.GetAsync([]byte("a")) // want "not awaited before the function returns"
+	if b {
+		fut.Get()
+	}
+}
+
+// chained: issue-and-await in one expression is the tight idiom.
+func chained(tr *fdb.Transaction) ([]byte, error) {
+	return tr.GetAsync([]byte("a")).Get()
+}
+
+// bothBranches: every path awaits.
+func bothBranches(tr *fdb.Transaction, alt bool) ([]byte, error) {
+	fut := tr.GetAsync([]byte("a"))
+	if alt {
+		return fut.Get()
+	}
+	v, err := fut.Get()
+	return v, err
+}
+
+// deferred: defer fut.Get() covers every later exit path.
+func deferred(tr *fdb.Transaction, fail bool) error {
+	fut := tr.GetRangeAsync([]byte("a"), []byte("b"), fdb.RangeOptions{})
+	defer fut.Get()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// overlap: the paper's issue-several-await-later pattern passes.
+func overlap(tr *fdb.Transaction) ([]byte, []byte, error) {
+	fa := tr.GetAsync([]byte("a"))
+	fb := tr.GetAsync([]byte("b"))
+	va, err := fa.Get()
+	if err != nil {
+		fb.Get()
+		return nil, nil, err
+	}
+	vb, err := fb.Get()
+	return va, vb, err
+}
+
+// escapes: futures handed to another owner are that owner's responsibility.
+func escapes(tr *fdb.Transaction, sink func(*fdb.FutureValue)) {
+	fut := tr.GetAsync([]byte("a"))
+	sink(fut)
+}
+
+// allowedDiscard: a reasoned allow directive suppresses the finding.
+func allowedDiscard(tr *fdb.Transaction) {
+	//lint:allow futureawait fixture: prefetch warms the page cache, result intentionally unused
+	tr.GetAsync([]byte("a"))
+}

@@ -1,0 +1,47 @@
+// Fixture for the obsguard analyzer. Type-checked by linttest under a
+// pretend import path; never built into the module.
+package fixture
+
+import "recordlayer/internal/obs"
+
+// unguarded: the methods are nil-safe but the *arguments* still evaluate —
+// clock reads and string formatting charged to every caller with obs off.
+func unguarded(trace *obs.Trace, stats *obs.PlanStats, log *obs.SlowQueryLog) {
+	trace.Add("span", 0, 1, 2, "attr") // want "trace.Add\(\) is not behind a nil check"
+	stats.AddRowOut()                  // want "stats.AddRowOut\(\) is not behind a nil check"
+	stats.AddIO(1, 2, 3)               // want "stats.AddIO\(\) is not behind a nil check"
+	log.Observe(obs.SlowQuery{}, true) // want "log.Observe\(\) is not behind a nil check"
+}
+
+// enclosingGuard: the canonical single-nil-check pattern.
+func enclosingGuard(trace *obs.Trace) {
+	if trace != nil {
+		trace.Add("span", 0, 1, 2, "attr")
+	}
+}
+
+// compoundGuard: the nil check may ride an && chain.
+func compoundGuard(trace *obs.Trace, enabled bool) {
+	if enabled && trace != nil {
+		trace.Add("span", 0, 1, 2, "attr")
+	}
+}
+
+// earlyReturnGuard: `if x == nil { return }` dominates the rest of the block.
+func earlyReturnGuard(stats *obs.PlanStats) {
+	if stats == nil {
+		return
+	}
+	stats.AddPage()
+	stats.AddRowIn()
+}
+
+// readSideFree: read-side methods are cold paths and need no guard.
+func readSideFree(trace *obs.Trace) int {
+	return len(trace.Spans())
+}
+
+// allowedHot: a reasoned allow directive suppresses the finding.
+func allowedHot(stats *obs.PlanStats) {
+	stats.AddRowOut() //lint:allow obsguard fixture: receiver constructed non-nil two lines up
+}

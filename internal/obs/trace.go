@@ -47,6 +47,12 @@ const (
 	SpanBackoff = "runner.backoff"
 	// SpanIndexPrefix prefixes per-index maintenance spans: "index.<name>".
 	SpanIndexPrefix = "index."
+	// SpanLeaseRefresh is one distributed-quota heartbeat: limits reload,
+	// demand estimation, and lease claims for every rate-limited tenant.
+	SpanLeaseRefresh = "lease.refresh"
+	// SpanMeterExport is one metering-export tick: the accountant snapshot
+	// plus the persisted usage-window append.
+	SpanMeterExport = "metering.export"
 )
 
 // Span is one traced interval. Start and End are nanosecond readings of the

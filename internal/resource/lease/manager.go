@@ -2,10 +2,12 @@ package lease
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"recordlayer/internal/obs"
 	"recordlayer/internal/resource"
 )
 
@@ -27,6 +29,10 @@ type Options struct {
 	// Clock supplies time (tests inject a manual clock). Defaults to
 	// time.Now.
 	Clock func() time.Time
+	// Trace, when set, receives one obs.SpanLeaseRefresh span per heartbeat
+	// (lease count or failure cause in the attr). Nil keeps heartbeats
+	// span-free.
+	Trace *obs.Trace
 }
 
 // Manager runs one server's side of the distributed quota protocol: each
@@ -91,6 +97,23 @@ func (m *Manager) Held(tenant string) (Slice, bool) {
 // the refresh (the next heartbeat retries); the limits table application is
 // not rolled back — stale slices keep governing until then.
 func (m *Manager) Refresh() (int, error) {
+	var startNanos int64
+	if m.opts.Trace != nil {
+		startNanos = m.opts.Clock().UnixNano()
+	}
+	leased, err := m.refresh()
+	if m.opts.Trace != nil {
+		attr := fmt.Sprintf("server=%s leased=%d", m.opts.Server, leased)
+		if err != nil {
+			attr = fmt.Sprintf("server=%s err=%v", m.opts.Server, err)
+		}
+		m.opts.Trace.Add(obs.SpanLeaseRefresh, startNanos, m.opts.Clock().UnixNano(), 0, attr)
+	}
+	return leased, err
+}
+
+// refresh is one heartbeat's body.
+func (m *Manager) refresh() (int, error) {
 	all, err := m.limits.All()
 	if err != nil {
 		return 0, err

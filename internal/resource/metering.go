@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"recordlayer/internal/fdb"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
 )
@@ -259,9 +260,19 @@ type UsageExporter struct {
 	server string
 	clock  func() time.Time
 
-	mu   sync.Mutex
-	last map[string]Usage
-	prev time.Time
+	mu    sync.Mutex
+	trace *obs.Trace
+	last  map[string]Usage
+	prev  time.Time
+}
+
+// SetTrace attaches a span sink: every subsequent Export records one
+// obs.SpanMeterExport span (window count or failure cause in the attr). Nil
+// detaches it.
+func (e *UsageExporter) SetTrace(t *obs.Trace) {
+	e.mu.Lock()
+	e.trace = t
+	e.mu.Unlock()
 }
 
 // NewUsageExporter creates an exporter publishing acct's deltas under the
@@ -297,10 +308,18 @@ func (e *UsageExporter) Export() (int, error) {
 	})
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Tenant < deltas[j].Tenant })
 	if err := e.store.Export(e.server, e.prev, now.Sub(e.prev), deltas); err != nil {
+		if e.trace != nil {
+			e.trace.Add(obs.SpanMeterExport, now.UnixNano(), e.clock().UnixNano(), 0,
+				fmt.Sprintf("server=%s err=%v", e.server, err))
+		}
 		return 0, err
 	}
 	e.last = next
 	e.prev = now
+	if e.trace != nil {
+		e.trace.Add(obs.SpanMeterExport, now.UnixNano(), e.clock().UnixNano(), 0,
+			fmt.Sprintf("server=%s windows=%d", e.server, len(deltas)))
+	}
 	return len(deltas), nil
 }
 

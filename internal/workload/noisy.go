@@ -50,6 +50,12 @@ type NoisyConfig struct {
 	IndexRecords int
 	// Seed shapes the record payloads.
 	Seed int64
+	// Clock is the experiment's time source; tests inject a manual clock so
+	// phase deadlines are exact. Defaults to time.Now.
+	Clock func() time.Time
+	// Sleep performs quota-rejection backoff waits; tests inject a recorder
+	// or no-op. Defaults to time.Sleep.
+	Sleep func(time.Duration)
 }
 
 func (c NoisyConfig) withDefaults() NoisyConfig {
@@ -76,6 +82,12 @@ func (c NoisyConfig) withDefaults() NoisyConfig {
 	}
 	if c.IndexRecords <= 0 {
 		c.IndexRecords = 1200
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
 	}
 	return c
 }
@@ -405,6 +417,10 @@ type worker struct {
 	// maxBackoff, when set, caps the quota-rejection backoff (see
 	// distMaxBackoff). Zero trusts RetryAfter unconditionally.
 	maxBackoff time.Duration
+	// clock and sleep come from NoisyConfig so the loops run on the
+	// experiment's injected time source.
+	clock func() time.Time
+	sleep func(time.Duration)
 }
 
 // run loops transactions until the deadline, backing off on quota
@@ -417,8 +433,8 @@ func (w *worker) run(ctx context.Context, c *noisyCluster, deadline time.Time,
 	// Distinct id ranges per worker keep tenants conflict-free with
 	// themselves.
 	id := seed << 32
-	for time.Now().Before(deadline) && ctx.Err() == nil {
-		start := time.Now()
+	for w.clock().Before(deadline) && ctx.Err() == nil {
+		start := w.clock()
 		recs := make([]*message.Message, recsPerTxn)
 		for j := range recs {
 			recs[j] = message.New(c.note).
@@ -446,10 +462,10 @@ func (w *worker) run(ctx context.Context, c *noisyCluster, deadline time.Time,
 				if w.maxBackoff > 0 && pause > w.maxBackoff {
 					pause = w.maxBackoff
 				}
-				if rest := time.Until(deadline); pause > rest {
+				if rest := deadline.Sub(w.clock()); pause > rest {
 					pause = rest
 				}
-				time.Sleep(pause)
+				w.sleep(pause)
 				continue
 			}
 			w.err = err
@@ -457,7 +473,7 @@ func (w *worker) run(ctx context.Context, c *noisyCluster, deadline time.Time,
 		}
 		w.txns++
 		if record {
-			w.latencies = append(w.latencies, time.Since(start))
+			w.latencies = append(w.latencies, w.clock().Sub(start))
 		}
 	}
 }
@@ -599,10 +615,10 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, spec noisySpec) (NoisyP
 	var workers []*worker
 	var wg sync.WaitGroup
 	ioBase := c.db.Metrics().Snapshot()
-	start := time.Now()
+	start := cfg.Clock()
 	deadline := start.Add(cfg.Phase)
 	spawn := func(tenant string, workerIdx, recsPerTxn, recSize int, record bool) {
-		w := &worker{tenant: tenant, runner: runner}
+		w := &worker{tenant: tenant, runner: runner, clock: cfg.Clock, sleep: cfg.Sleep}
 		workers = append(workers, w)
 		wg.Add(1)
 		go w.run(ctx, c, deadline, cfg.Seed+int64(workerIdx)*7919, recsPerTxn, recSize, record, &wg)
@@ -642,7 +658,7 @@ func runNoisyPhase(ctx context.Context, cfg NoisyConfig, spec noisySpec) (NoisyP
 	}
 	wg.Wait()
 	<-indexDone
-	elapsed := time.Since(start)
+	elapsed := cfg.Clock().Sub(start)
 	if buildErr != nil {
 		return NoisyPhase{}, fmt.Errorf("workload: background index build: %w", buildErr)
 	}
@@ -733,10 +749,10 @@ func runPersistedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, bool, 
 	var workers []*worker
 	var wg sync.WaitGroup
 	ioBase := c.db.Metrics().Snapshot()
-	start := time.Now()
+	start := cfg.Clock()
 	deadline := start.Add(cfg.Phase)
 	spawn := func(tenant string, runner *recordlayer.Runner, workerIdx, recsPerTxn, recSize int, record bool) {
-		w := &worker{tenant: tenant, runner: runner}
+		w := &worker{tenant: tenant, runner: runner, clock: cfg.Clock, sleep: cfg.Sleep}
 		workers = append(workers, w)
 		wg.Add(1)
 		go w.run(ctx, c, deadline, cfg.Seed+int64(workerIdx)*7919, recsPerTxn, recSize, record, &wg)
@@ -755,7 +771,7 @@ func runPersistedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, bool, 
 		idx++
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := cfg.Clock().Sub(start)
 
 	phase, err := mergePhase("persisted", cfg, workers, elapsed, acctA, acctB)
 	phase.IO = c.db.Metrics().Snapshot().Delta(ioBase)
@@ -859,7 +875,7 @@ func runDistributedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, dist
 				for _, m := range mgrs {
 					_, _ = m.Refresh() // transient claim conflicts retry next beat
 				}
-				rows, err := leaseStore.Live(aggressorTenant, time.Now())
+				rows, err := leaseStore.Live(aggressorTenant, cfg.Clock())
 				if err != nil {
 					continue
 				}
@@ -878,10 +894,10 @@ func runDistributedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, dist
 	var workers []*worker
 	var wg sync.WaitGroup
 	ioBase := c.db.Metrics().Snapshot()
-	start := time.Now()
+	start := cfg.Clock()
 	deadline := start.Add(cfg.Phase)
 	spawn := func(tenant string, runner *recordlayer.Runner, workerIdx, recsPerTxn, recSize int, record bool) {
-		w := &worker{tenant: tenant, runner: runner, maxBackoff: distMaxBackoff}
+		w := &worker{tenant: tenant, runner: runner, maxBackoff: distMaxBackoff, clock: cfg.Clock, sleep: cfg.Sleep}
 		workers = append(workers, w)
 		wg.Add(1)
 		go w.run(ctx, c, deadline, cfg.Seed+int64(workerIdx)*7919, recsPerTxn, recSize, record, &wg)
@@ -897,7 +913,7 @@ func runDistributedPhase(ctx context.Context, cfg NoisyConfig) (NoisyPhase, dist
 		idx++
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := cfg.Clock().Sub(start)
 	hbCancel()
 	<-hbDone
 	out.sliceSumOK = sliceOK
@@ -999,14 +1015,14 @@ func MeasureGovernanceOverhead(ctx context.Context, txns int) (ungoverned, gover
 		}
 		best := time.Duration(0)
 		for rep := 0; rep < 3; rep++ {
-			start := time.Now()
+			start := time.Now() //lint:allow clockinject measures real wall-clock overhead of governance, not simulated time
 			for i := 0; i < txns; i++ {
 				if err := save(id); err != nil {
 					return 0, err
 				}
 				id++
 			}
-			if d := time.Since(start) / time.Duration(txns); best == 0 || d < best {
+			if d := time.Since(start) / time.Duration(txns); best == 0 || d < best { //lint:allow clockinject measures real wall-clock overhead of governance, not simulated time
 				best = d
 			}
 		}

@@ -11,6 +11,13 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_7.json}"
 pat='BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkSaveRecord|BenchmarkTuplePack'
 
+# Fail fast if the comparator doesn't build: discovering that only after
+# minutes of benchmarking wastes the whole run (and in CI, the A/B gate's).
+if ! go build -o /dev/null ./scripts/benchcmp; then
+  echo "bench.sh: scripts/benchcmp does not build; fix it before benchmarking (the comparison below would fail anyway)" >&2
+  exit 1
+fi
+
 # 3s per benchmark: the zero-latency ops are microseconds each, so the
 # default 1s window leaves ±4% run-to-run noise that swamps small deltas
 # (e.g. loop50 vs batch50, which are the same code path at zero latency).

@@ -237,7 +237,7 @@ func (s *Store) executePlan(ctx context.Context, pl plan.Plan, props ExecuteProp
 			if slow {
 				sq.Trace = trace.Summary()
 			}
-			log.Observe(sq, slow)
+			log.Observe(sq, slow) //lint:allow obsguard the onHalt closure is only built under the log != nil guard above
 		}
 	}
 	return rc, nil
