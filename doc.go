@@ -129,19 +129,36 @@
 // overlap observable. The default model is zero cost: reads resolve
 // instantly and nothing is tracked.
 //
-// Three hot paths exploit the futures end-to-end. Index-scan record fetches
-// issue up to PipelineDepth range reads ahead of the consumer on a single
-// goroutine (cursor.MapAsync — no worker goroutines, so depth 8 costs the
-// same as depth 1 when reads are instant). Range scans prefetch their next
-// batch while the current one drains (kvcursor read-ahead, on by default;
-// ExecuteProperties.NoReadAhead opts an execution out when the footprint of
-// one speculative batch matters). And the batched write path —
-// Store.SaveRecords — issues all N old-record loads as concurrent futures
-// before maintaining indexes, with unique-index probes likewise issued in
-// parallel; Store.InsertRecord skips the old-record load entirely for
-// caller-asserted-new rows, substituting a conflict-checked existence probe.
+// The layer exploits the futures end-to-end; no hot read path is serial.
+// Index-scan record fetches issue up to PipelineDepth range reads ahead of
+// the consumer on a single goroutine (cursor.MapAsync — no worker
+// goroutines, so depth 8 costs the same as depth 1 when reads are instant).
+// Range scans prefetch their next batch while the current one drains
+// (kvcursor read-ahead, on by default; ExecuteProperties.NoReadAhead opts an
+// execution out when the footprint of one speculative batch matters).
+//
+// Index maintenance itself is two-phase: every maintainer implements
+// UpdateAsync(ctx, old, new), which issues the maintenance's probe reads
+// (uniqueness checks, skip-list floor lookups for RANK, token-bunch reads
+// for TEXT) and returns a Pending whose Await resolves them and applies the
+// writes; the synchronous Update is just UpdateAsync+Await. The batched
+// write path — Store.SaveRecords — rides that split: it issues all N
+// old-record loads as concurrent futures, then collects every record's
+// Pendings before awaiting any, so the entire batch's index probes share
+// one latency window instead of paying one per record (the benchmark gap is
+// BenchmarkIndexHeavySave loop50 vs batch50). Store.InsertRecord skips the
+// old-record load entirely for caller-asserted-new rows, substituting a
+// conflict-checked existence probe.
+//
+// Merge plans pipeline across children the same way. Union and Intersection
+// cursors implement a Prefetch protocol: before peeking any drained child,
+// a merge step first re-issues the next batch fetch on every child that
+// needs one, so a K-way merge pays one shared window per step rather than
+// K sequential ones (BenchmarkMergeQuery). Results stay byte-identical to
+// the serial drain — order, halt reasons, continuations, and metering
+// included — because prefetched-but-unconsumed batches are never metered.
 // Under `go test -bench . -args -latency 100us`, scripts/bench.sh records
-// both the instant-read and the latency-profile numbers in BENCH_5.json.
+// both the instant-read and the latency-profile numbers in BENCH_8.json.
 //
 // # Resource governance
 //

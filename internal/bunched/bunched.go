@@ -11,7 +11,6 @@ package bunched
 
 import (
 	"fmt"
-	"sort"
 
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/subspace"
@@ -120,74 +119,15 @@ func (m *Map) locate(tr *fdb.Transaction, token string, pk tuple.Tuple) (physKey
 	return kvs[0].Key, entries, true, nil
 }
 
-// neighbor returns the physical bunch immediately after the logical key
-// within the same token, if any.
-func (m *Map) neighbor(tr *fdb.Transaction, token string, pk tuple.Tuple) (physKey []byte, entries []Entry, ok bool, err error) {
-	begin := fdb.KeyAfter(m.key(token, pk))
-	_, end := m.space.RangeForTuple(tuple.Tuple{token})
-	kvs, _, err := tr.GetRange(begin, end, fdb.RangeOptions{Limit: 1})
-	if err != nil || len(kvs) == 0 {
-		return nil, nil, false, err
-	}
-	_, entries, err = m.decodeBunch(kvs[0].Key, kvs[0].Value)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	return kvs[0].Key, entries, true, nil
-}
-
 func pkCompare(a, b tuple.Tuple) int { return tuple.Compare(a, b) }
 
 // Insert adds or replaces the offsets for (token, pk). Appendix B: inserting
-// reads at most two key-value pairs and writes at most two.
+// reads at most two key-value pairs and writes at most two. Built on the
+// pipelined Async path, so the locate and neighbor scans share one latency
+// window.
 func (m *Map) Insert(tr *fdb.Transaction, token string, pk tuple.Tuple, offsets []int64) error {
-	newEntry := Entry{PK: pk, Offsets: offsets}
-	physKey, entries, found, err := m.locate(tr, token, pk)
-	if err != nil {
-		return err
-	}
-	if found {
-		// Upsert into this bunch, keeping entries sorted by primary key.
-		idx := sort.Search(len(entries), func(i int) bool { return pkCompare(entries[i].PK, pk) >= 0 })
-		if idx < len(entries) && pkCompare(entries[idx].PK, pk) == 0 {
-			entries[idx] = newEntry
-			return tr.Set(physKey, encodeBunch(entries))
-		}
-		entries = append(entries, Entry{})
-		copy(entries[idx+1:], entries[idx:])
-		entries[idx] = newEntry
-		if len(entries) <= m.bunchSize {
-			return tr.Set(physKey, encodeBunch(entries))
-		}
-		// Overflow: evict the biggest primary key into a new physical entry,
-		// then merge the neighbor bunch into it if the result still fits.
-		spill := entries[len(entries)-1]
-		entries = entries[:len(entries)-1]
-		if err := tr.Set(physKey, encodeBunch(entries)); err != nil {
-			return err
-		}
-		return m.insertSpill(tr, token, spill)
-	}
-	// No bunch at or before the key: this becomes the token's first bunch;
-	// absorb the following bunch when it fits.
-	return m.insertSpill(tr, token, newEntry)
-}
-
-// insertSpill writes entry as a new physical bunch, merging the immediately
-// following bunch into it when the combination stays within the bunch size.
-func (m *Map) insertSpill(tr *fdb.Transaction, token string, entry Entry) error {
-	nKey, nEntries, ok, err := m.neighbor(tr, token, entry.PK)
-	if err != nil {
-		return err
-	}
-	bunch := []Entry{entry}
-	if ok && len(nEntries)+1 <= m.bunchSize {
-		if err := tr.Clear(nKey); err != nil {
-			return err
-		}
-		bunch = append(bunch, nEntries...)
-	}
-	return tr.Set(m.key(token, entry.PK), encodeBunch(bunch))
+	_, err := m.Async(tr).IssueInsert(token, pk, offsets).Apply()
+	return err
 }
 
 // Get returns the offsets for (token, pk).
@@ -206,33 +146,7 @@ func (m *Map) Get(tr *fdb.Transaction, token string, pk tuple.Tuple) ([]int64, b
 
 // Delete removes (token, pk); reading and writing a single pair (App. B).
 func (m *Map) Delete(tr *fdb.Transaction, token string, pk tuple.Tuple) (bool, error) {
-	physKey, entries, found, err := m.locate(tr, token, pk)
-	if err != nil || !found {
-		return false, err
-	}
-	idx := -1
-	for i, e := range entries {
-		if pkCompare(e.PK, pk) == 0 {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return false, nil
-	}
-	if len(entries) == 1 {
-		return true, tr.Clear(physKey)
-	}
-	entries = append(entries[:idx], entries[idx+1:]...)
-	if idx == 0 {
-		// The bunch's key carried this primary key: re-anchor the bunch at
-		// the next primary key.
-		if err := tr.Clear(physKey); err != nil {
-			return false, err
-		}
-		return true, tr.Set(m.key(token, entries[0].PK), encodeBunch(entries))
-	}
-	return true, tr.Set(physKey, encodeBunch(entries))
+	return m.Async(tr).IssueDelete(token, pk).Apply()
 }
 
 // ScanToken returns every entry for a token in primary-key order.

@@ -8,7 +8,9 @@ import (
 
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/fdb"
+	"recordlayer/internal/index"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/resource"
 	"recordlayer/internal/subspace"
 	"recordlayer/internal/tuple"
@@ -38,6 +40,11 @@ type OnlineIndexer struct {
 	// (PaceFromGovernor). Returning an error (e.g. ctx.Err()) stops the
 	// build like a cancellation. Progress stays persisted either way.
 	Pace func(ctx context.Context) error
+	// Trace, when set, is attached to every build transaction, so each batch
+	// records an indexer.batch span (scan, issue, resolve — with the batch
+	// limit and records indexed in its attr) alongside the underlying read
+	// windows, all priced by the database's latency clock.
+	Trace *obs.Trace
 }
 
 // PaceFromGovernor adapts a resource.Governor into an OnlineIndexer.Pace
@@ -102,6 +109,9 @@ func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
 	}
 	// Phase 1: clear any stale data and enter write-only (§6).
 	_, err := o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		if o.Trace != nil {
+			tr.SetTrace(o.Trace)
+		}
 		s, err := Open(tr, o.MetaData, o.Space, OpenOptions{Config: o.Config})
 		if err != nil {
 			return nil, err
@@ -148,6 +158,9 @@ func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
 
 	// Phase 3: mark readable and clear progress.
 	_, err = o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		if o.Trace != nil {
+			tr.SetTrace(o.Trace)
+		}
 		s, err := Open(tr, o.MetaData, o.Space, OpenOptions{Config: o.Config})
 		if err != nil {
 			return nil, err
@@ -163,6 +176,9 @@ func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
 // buildBatch indexes up to batch records, resuming from stored progress.
 func (o *OnlineIndexer) buildBatch(batch int) (int, bool, error) {
 	v, err := o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+		if o.Trace != nil {
+			tr.SetTrace(o.Trace)
+		}
 		s, err := Open(tr, o.MetaData, o.Space, OpenOptions{Config: o.Config})
 		if err != nil {
 			return nil, err
@@ -178,9 +194,18 @@ func (o *OnlineIndexer) buildBatch(batch int) (int, bool, error) {
 		if err != nil {
 			return nil, err
 		}
+		var t0 int64
+		if s.trace != nil {
+			t0 = s.tr.LatencyNow()
+		}
+		// Issue every record's index update without awaiting, then resolve
+		// them together: the batch's probe reads share one latency window
+		// instead of paying one per record.
 		scan := s.ScanRecords(ScanOptions{Continuation: cont})
-		n := 0
+		n, indexed := 0, 0
+		exhausted := false
 		var lastCont []byte
+		var pendings []index.Pending
 		for n < batch {
 			r, err := scan.Next()
 			if err != nil {
@@ -190,15 +215,31 @@ func (o *OnlineIndexer) buildBatch(batch int) (int, bool, error) {
 				if r.Reason != cursor.SourceExhausted {
 					return nil, fmt.Errorf("core: index build scan halted: %v", r.Reason)
 				}
-				return [2]int{n, 1}, nil
+				exhausted = true
+				break
 			}
 			if ix.AppliesTo(r.Value.Type.Name) {
-				if err := m.Update(ictx, nil, r.Value.asIndexRecord()); err != nil {
+				p, err := m.UpdateAsync(ictx, nil, r.Value.asIndexRecord())
+				if err != nil {
 					return nil, err
 				}
+				pendings = append(pendings, p)
+				indexed++
 			}
 			lastCont = r.Continuation
 			n++
+		}
+		for _, p := range pendings {
+			if err := p.Await(); err != nil {
+				return nil, err
+			}
+		}
+		if s.trace != nil {
+			s.trace.Add(obs.SpanIndexerBatch, t0, s.tr.LatencyNow(), 0,
+				fmt.Sprintf("batch=%d records=%d", batch, indexed))
+		}
+		if exhausted {
+			return [2]int{n, 1}, nil
 		}
 		if err := tr.Set(progressKey, lastCont); err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"recordlayer/internal/cursor"
 	"recordlayer/internal/index"
 	"recordlayer/internal/metadata"
+	"recordlayer/internal/obs"
 	"recordlayer/internal/tuple"
 )
 
@@ -146,7 +147,15 @@ func (s *Store) Rank(name string, entry, pk tuple.Tuple) (int64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	return rm.Rank(ictx, entry, pk)
+	var t0 int64
+	if s.trace != nil {
+		t0 = s.tr.LatencyNow()
+	}
+	r, ok, rerr := rm.Rank(ictx, entry, pk)
+	if s.trace != nil {
+		s.trace.Add(obs.SpanIndexPrefix+name, t0, s.tr.LatencyNow(), 0, "op=rank")
+	}
+	return r, ok, rerr
 }
 
 // RankOfValue returns the rank an indexed value would occupy.
@@ -155,7 +164,15 @@ func (s *Store) RankOfValue(name string, entry tuple.Tuple) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return rm.RankOfValue(ictx, entry)
+	var t0 int64
+	if s.trace != nil {
+		t0 = s.tr.LatencyNow()
+	}
+	r, rerr := rm.RankOfValue(ictx, entry)
+	if s.trace != nil {
+		s.trace.Add(obs.SpanIndexPrefix+name, t0, s.tr.LatencyNow(), 0, "op=rank_of_value")
+	}
+	return r, rerr
 }
 
 // ByRank returns the index entry at a given rank (leaderboard lookup).
@@ -164,17 +181,36 @@ func (s *Store) ByRank(name string, rank int64) (index.Entry, bool, error) {
 	if err != nil {
 		return index.Entry{}, false, err
 	}
-	return rm.ByRank(ictx, rank)
+	var t0 int64
+	if s.trace != nil {
+		t0 = s.tr.LatencyNow()
+	}
+	e, ok, rerr := rm.ByRank(ictx, rank)
+	if s.trace != nil {
+		s.trace.Add(obs.SpanIndexPrefix+name, t0, s.tr.LatencyNow(), 0, "op=by_rank")
+	}
+	return e, ok, rerr
 }
 
 // ScanByRank streams entries starting at a rank — the scrollbar pattern of
-// Appendix B: jump to the k-th result without scanning the first k.
+// Appendix B: jump to the k-th result without scanning the first k. The span
+// covers the rank-to-key seek (the skip-list descent, one span for the whole
+// descent rather than one per level); the streaming scan that follows is
+// ordinary value-index I/O and is not part of it.
 func (s *Store) ScanByRank(name string, startRank int64, opts index.ScanOptions) (cursor.Cursor[index.Entry], error) {
 	rm, ictx, err := s.rankIndex(name)
 	if err != nil {
 		return nil, err
 	}
-	return rm.ScanByRank(ictx, startRank, opts)
+	var t0 int64
+	if s.trace != nil {
+		t0 = s.tr.LatencyNow()
+	}
+	c, serr := rm.ScanByRank(ictx, startRank, opts)
+	if s.trace != nil {
+		s.trace.Add(obs.SpanIndexPrefix+name, t0, s.tr.LatencyNow(), 0, "op=scan_by_rank")
+	}
+	return c, serr
 }
 
 // textIndex resolves a TEXT index's maintainer.
@@ -273,7 +309,7 @@ func (s *Store) RebuildIndexInline(name string) error {
 		if !ix.AppliesTo(r.Value.Type.Name) {
 			continue
 		}
-		if err := m.Update(ictx, nil, r.Value.asIndexRecord()); err != nil {
+		if err := index.Update(m, ictx, nil, r.Value.asIndexRecord()); err != nil {
 			return err
 		}
 	}

@@ -88,18 +88,35 @@ func (s *Store) SaveRecord(msg *message.Message) (*StoredRecord, error) {
 // saveLoaded finishes a save once the old record is known: assign the
 // per-transaction version counter, reconcile indexes, rewrite the data.
 func (s *Store) saveLoaded(rt *metadata.RecordType, pk tuple.Tuple, msg *message.Message, old *StoredRecord) (*StoredRecord, error) {
+	rec, pendings, err := s.saveLoadedAsync(rt, pk, msg, old)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.awaitIndexPendings(pendings); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// saveLoadedAsync is the issue half of saveLoaded: version assignment, index
+// update issue, record data write — everything except awaiting the index
+// reads. Record data lives outside every index subspace, so writing it
+// between a maintainer's issue and await phases cannot change what the issued
+// probes resolve to.
+func (s *Store) saveLoadedAsync(rt *metadata.RecordType, pk tuple.Tuple, msg *message.Message, old *StoredRecord) (*StoredRecord, []indexPending, error) {
 	rec := &StoredRecord{Type: rt, Message: msg, PrimaryKey: pk}
 	if s.md.StoreRecordVersions {
 		rec.pendingUserVersion = s.userVersion
 		s.userVersion++
 	}
-	if err := s.updateIndexes(old, rec); err != nil {
-		return nil, err
+	pendings, err := s.updateIndexesAsync(old, rec)
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := s.writeRecordData(rec, old != nil); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rec, nil
+	return rec, pendings, nil
 }
 
 // SaveRecords saves a batch of records in order, with every old-record load
@@ -149,7 +166,16 @@ func (s *Store) SaveRecords(msgs []*message.Message) ([]*StoredRecord, error) {
 		seen[k] = true
 		items[i].load = s.issueLoadRecord(pk, false)
 	}
+	// Sweep 1: per record in batch order, resolve the old record and issue
+	// its index maintenance — every maintainer's probe reads go out without
+	// blocking, so all N records' descents and boundary lookups share one
+	// latency window. Sweep 2: await each record's pendings in issue order,
+	// applying the buffered index mutations. The two sweeps produce the same
+	// keyspace and metering as the save loop: maintainers resolve their reads
+	// against the transaction state as of issue, replaying any batch-internal
+	// writes buffered after them.
 	out := make([]*StoredRecord, len(msgs))
+	pendings := make([][]indexPending, len(msgs))
 	for i, msg := range msgs {
 		it := items[i]
 		var old *StoredRecord
@@ -164,11 +190,17 @@ func (s *Store) SaveRecords(msgs []*message.Message) ([]*StoredRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec, err := s.saveLoaded(it.rt, it.pk, msg, old)
+		rec, ps, err := s.saveLoadedAsync(it.rt, it.pk, msg, old)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = rec
+		pendings[i] = ps
+	}
+	for _, ps := range pendings {
+		if err := s.awaitIndexPendings(ps); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -194,48 +226,100 @@ func (s *Store) InsertRecord(msg *message.Message) (*StoredRecord, error) {
 	return s.saveLoaded(rt, pk, msg, nil)
 }
 
-// updateIndexes runs every non-disabled maintainer whose index covers the
-// old or new record's type.
-func (s *Store) updateIndexes(old, new *StoredRecord) error {
-	for _, ix := range s.md.Indexes() {
-		applies := false
+// indexPending is one index's issued-but-unawaited update: the await half of
+// the maintainer's two-phase protocol plus the bookkeeping to finish the
+// index's trace span when the update resolves.
+type indexPending struct {
+	name string
+	p    index.Pending
+	t0   int64
+}
+
+// updateIndexesAsync issues every non-disabled maintainer whose index covers
+// the old or new record's type, awaiting nothing: each maintainer's reads are
+// in flight when this returns. The pendings must be handed to
+// awaitIndexPendings in the order returned (maintainers buffer mutations to
+// apply at await time, in issue order). An index's `index.<name>` span opens
+// at issue and closes at await, so overlapped maintenance shows overlapped
+// spans — the write-path mirror of overlapping fdb.read windows.
+func (s *Store) updateIndexesAsync(old, new *StoredRecord) ([]indexPending, error) {
+	appliesTo := func(ix *metadata.Index) bool {
 		if old != nil && ix.AppliesTo(old.Type.Name) {
-			applies = true
+			return true
 		}
-		if new != nil && ix.AppliesTo(new.Type.Name) {
-			applies = true
+		return new != nil && ix.AppliesTo(new.Type.Name)
+	}
+	// Resolve every applying index's lifecycle state in one shared window
+	// before issuing any maintenance; serial per-index reads would stack one
+	// window each on the first record.
+	names := make([]string, 0, len(s.md.Indexes()))
+	for _, ix := range s.md.Indexes() {
+		if appliesTo(ix) {
+			names = append(names, ix.Name)
 		}
-		if !applies {
+	}
+	if err := s.prefetchIndexStates(names); err != nil {
+		return nil, err
+	}
+	out := make([]indexPending, 0, len(names))
+	for _, ix := range s.md.Indexes() {
+		if !appliesTo(ix) {
 			continue
 		}
 		st, err := s.IndexState(ix.Name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if st == metadata.StateDisabled {
 			continue
 		}
 		m, err := s.maintainer(ix)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var t0 int64
 		if s.trace != nil {
 			t0 = s.tr.LatencyNow()
 		}
-		uerr := m.Update(s.indexContext(ix), old.asIndexRecord(), new.asIndexRecord())
+		p, uerr := m.UpdateAsync(s.indexContext(ix), old.asIndexRecord(), new.asIndexRecord())
+		if uerr != nil {
+			if s.trace != nil {
+				s.trace.Add(obs.SpanIndexPrefix+ix.Name, t0, s.tr.LatencyNow(), 0, uerr.Error())
+			}
+			return nil, uerr
+		}
+		out = append(out, indexPending{name: ix.Name, p: p, t0: t0})
+	}
+	return out, nil
+}
+
+// awaitIndexPendings resolves issued index updates in order, closing each
+// index's trace span.
+func (s *Store) awaitIndexPendings(pendings []indexPending) error {
+	for _, ip := range pendings {
+		err := ip.p.Await()
 		if s.trace != nil {
 			attr := ""
-			if uerr != nil {
-				attr = uerr.Error()
+			if err != nil {
+				attr = err.Error()
 			}
-			s.trace.Add(obs.SpanIndexPrefix+ix.Name, t0, s.tr.LatencyNow(), 0, attr)
+			s.trace.Add(obs.SpanIndexPrefix+ip.name, ip.t0, s.tr.LatencyNow(), 0, attr)
 		}
-		if uerr != nil {
-			return uerr
+		if err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// updateIndexes runs every applicable maintainer serially — the two-phase
+// protocol's degenerate case for single-record paths.
+func (s *Store) updateIndexes(old, new *StoredRecord) error {
+	pendings, err := s.updateIndexesAsync(old, new)
+	if err != nil {
+		return err
+	}
+	return s.awaitIndexPendings(pendings)
 }
 
 // recordRange is the key range holding one record's pairs.
@@ -535,6 +619,9 @@ func (s *Store) DeleteAllRecords() error {
 			return err
 		}
 	}
+	// Cached maintainers may hold per-transaction pipelining overlays whose
+	// write logs no longer describe the cleared index subspaces.
+	s.maintainers = make(map[string]index.Maintainer)
 	return nil
 }
 
@@ -632,6 +719,14 @@ func (c *recordCursor) flush(pk tuple.Tuple, packed []byte, group []fdb.KeyValue
 	return cursor.Result[*StoredRecord]{Value: rec, OK: true, Continuation: packed}, nil
 }
 
+// Prefetch implements cursor.Prefetcher by forwarding to the pair source.
+func (c *recordCursor) Prefetch() {
+	if c.halted != nil {
+		return
+	}
+	cursor.Prefetch(c.kvs)
+}
+
 // Next implements cursor.Cursor.
 func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
 	if c.halted != nil {
@@ -689,12 +784,27 @@ func (c *recordCursor) Next() (cursor.Result[*StoredRecord], error) {
 
 // prepend pushes one value back onto a cursor.
 func prepend(inner cursor.Cursor[fdb.KeyValue], kv fdb.KeyValue) cursor.Cursor[fdb.KeyValue] {
-	used := false
-	return cursor.Func[fdb.KeyValue](func() (cursor.Result[fdb.KeyValue], error) {
-		if !used {
-			used = true
-			return cursor.Result[fdb.KeyValue]{Value: kv, OK: true}, nil
-		}
-		return inner.Next()
-	})
+	return &prependCursor{inner: inner, kv: kv}
+}
+
+type prependCursor struct {
+	inner cursor.Cursor[fdb.KeyValue]
+	kv    fdb.KeyValue
+	used  bool
+}
+
+// Prefetch implements cursor.Prefetcher: while the pushed-back pair is
+// unconsumed the next delivery needs no I/O; afterwards forward to the source.
+func (c *prependCursor) Prefetch() {
+	if c.used {
+		cursor.Prefetch(c.inner)
+	}
+}
+
+func (c *prependCursor) Next() (cursor.Result[fdb.KeyValue], error) {
+	if !c.used {
+		c.used = true
+		return cursor.Result[fdb.KeyValue]{Value: c.kv, OK: true}, nil
+	}
+	return c.inner.Next()
 }

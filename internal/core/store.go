@@ -281,6 +281,44 @@ func (s *Store) IndexState(name string) (metadata.IndexState, error) {
 	return st, nil
 }
 
+// prefetchIndexStates resolves the lifecycle state of every named index not
+// yet cached, issuing all the probes before awaiting any — one latency window
+// for the whole set, where serial IndexState calls would pay one each. Reads
+// and metering are identical to the serial calls; only the windows overlap.
+func (s *Store) prefetchIndexStates(names []string) error {
+	type probe struct {
+		name string
+		key  []byte
+		fut  *fdb.FutureValue
+	}
+	var probes []probe
+	for _, name := range names {
+		if _, ok := s.indexStates[name]; ok {
+			continue
+		}
+		key := s.stateKey(name)
+		//lint:allow meteredtxn issue half of an issue/await pair; the awaited value is metered below like meteredGet
+		probes = append(probes, probe{name: name, key: key, fut: s.tr.GetAsync(key)})
+	}
+	for _, p := range probes {
+		raw, err := p.fut.Get()
+		if err != nil {
+			return err
+		}
+		st := metadata.StateReadable
+		if raw != nil {
+			s.meter.RecordRead(1, len(p.key)+len(raw))
+			t, err := tuple.Unpack(raw)
+			if err != nil {
+				return err
+			}
+			st = metadata.IndexState(t[0].(int64))
+		}
+		s.indexStates[p.name] = st
+	}
+	return nil
+}
+
 func (s *Store) setIndexState(name string, st metadata.IndexState) error {
 	var err error
 	if st == metadata.StateReadable {
@@ -317,6 +355,10 @@ func (s *Store) clearIndexData(name string) error {
 	if err := s.tr.ClearRange(b, e); err != nil {
 		return err
 	}
+	// A cached maintainer may hold a per-transaction pipelining overlay whose
+	// write log no longer describes the (now empty) index subspace; drop it so
+	// the next update starts from the cleared state.
+	delete(s.maintainers, name)
 	if err := s.tr.Clear(s.stateKey(name)); err != nil {
 		return err
 	}

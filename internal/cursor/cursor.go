@@ -74,6 +74,25 @@ func halt[T any](reason NoNextReason, continuation []byte) Result[T] {
 	return Result[T]{OK: false, Reason: reason, Continuation: continuation}
 }
 
+// Prefetcher is implemented by cursors that can start the I/O their next
+// delivery will need without blocking for it. Composite cursors (Union,
+// Intersection) prefetch every child whose head is unbuffered before peeking
+// any, so a K-way merge step waits one shared latency window where peeking
+// serially would wait up to K. Prefetch never changes what Next returns —
+// only when its I/O is issued — and must not block. Wrapper cursors forward
+// it to their inner cursor.
+type Prefetcher interface {
+	Prefetch()
+}
+
+// Prefetch invokes c's Prefetch when it implements Prefetcher; other cursors
+// (in-memory sources, adapters without I/O) are left alone.
+func Prefetch[T any](c Cursor[T]) {
+	if p, ok := c.(Prefetcher); ok {
+		p.Prefetch()
+	}
+}
+
 // Limiter tracks out-of-band resource limits shared by every cursor in one
 // execution (§8.2: limits on records and bytes read, plus a time budget).
 type Limiter struct {
@@ -178,6 +197,9 @@ func Map[T, U any](inner Cursor[T], f func(T) (U, error)) Cursor[U] {
 	return &mapCursor[T, U]{inner: inner, f: f}
 }
 
+// Prefetch implements Prefetcher by forwarding to the source.
+func (c *mapCursor[T, U]) Prefetch() { Prefetch(c.inner) }
+
 func (c *mapCursor[T, U]) Next() (Result[U], error) {
 	r, err := c.inner.Next()
 	if err != nil {
@@ -206,6 +228,9 @@ type filterCursor[T any] struct {
 func Filter[T any](inner Cursor[T], pred func(T) (bool, error)) Cursor[T] {
 	return &filterCursor[T]{inner: inner, pred: pred}
 }
+
+// Prefetch implements Prefetcher by forwarding to the source.
+func (c *filterCursor[T]) Prefetch() { Prefetch(c.inner) }
 
 func (c *filterCursor[T]) Next() (Result[T], error) {
 	for {
@@ -242,6 +267,15 @@ func Limit[T any](inner Cursor[T], n int) Cursor[T] {
 		return inner
 	}
 	return &limitCursor[T]{inner: inner, left: n}
+}
+
+// Prefetch implements Prefetcher; a spent limit will never pull the source
+// again, so it stops forwarding.
+func (c *limitCursor[T]) Prefetch() {
+	if c.done || c.left == 0 {
+		return
+	}
+	Prefetch(c.inner)
 }
 
 func (c *limitCursor[T]) Next() (Result[T], error) {

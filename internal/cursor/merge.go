@@ -49,6 +49,17 @@ func (s *childState[T]) consume() {
 	}
 }
 
+// prefetchChildren starts the next I/O of every child whose head will need a
+// pull, before any child is peeked (and therefore awaited): one merge step
+// waits a single shared latency window instead of one per child (§8).
+func prefetchChildren[T any](children []*childState[T]) {
+	for _, s := range children {
+		if s.buffered == nil && !s.done {
+			Prefetch(s.cur)
+		}
+	}
+}
+
 // childCont is the serialized per-child slot of a composite continuation.
 type childCont struct {
 	Done bool   `json:"d,omitempty"`
@@ -125,6 +136,7 @@ func (c *unionCursor[T]) Next() (Result[T], error) {
 	if c.halted != nil {
 		return *c.halted, nil
 	}
+	prefetchChildren(c.children)
 	// Find the smallest key among buffered heads.
 	var best *childState[T]
 	var bestKey []byte
@@ -215,6 +227,7 @@ func (c *intersectionCursor[T]) Next() (Result[T], error) {
 		return *c.halted, nil
 	}
 	for {
+		prefetchChildren(c.children)
 		var maxKey []byte
 		allEqual := true
 		for _, s := range c.children {

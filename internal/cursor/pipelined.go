@@ -42,6 +42,16 @@ type asyncCursor[T, F, U any] struct {
 	err     error      // sticky: an error already returned to the consumer
 }
 
+// Prefetch implements Prefetcher by forwarding to the source: the issued
+// handles in the queue are already in flight, so the only I/O worth starting
+// early is the source's next batch.
+func (c *asyncCursor[T, F, U]) Prefetch() {
+	if c.srcHalt != nil || c.srcErr != nil {
+		return
+	}
+	Prefetch(c.inner)
+}
+
 func (c *asyncCursor[T, F, U]) Next() (Result[U], error) {
 	if c.err != nil {
 		return Result[U]{}, c.err

@@ -52,8 +52,17 @@ func littleEndianInt64(v int64) []byte {
 	return b
 }
 
-// Update implements Maintainer.
-func (m *AtomicMaintainer) Update(ctx *Context, old, new *Record) error {
+// UpdateAsync implements Maintainer. Atomic indexes never read — every
+// mutation buffers immediately — so the whole update happens at issue time
+// and the returned Pending is Done.
+func (m *AtomicMaintainer) UpdateAsync(ctx *Context, old, new *Record) (Pending, error) {
+	if err := m.update(ctx, old, new); err != nil {
+		return nil, err
+	}
+	return Done, nil
+}
+
+func (m *AtomicMaintainer) update(ctx *Context, old, new *Record) error {
 	oldEntries, err := entriesFor(ctx.Index, old)
 	if err != nil {
 		return err

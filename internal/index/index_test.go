@@ -86,7 +86,7 @@ func TestCustomIndexType(t *testing.T) {
 	}
 	db, mkCtx := ctxFor(t, ix)
 	_, err = db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
-		return nil, m.Update(mkCtx(tr), nil, rec(1, "a", 1))
+		return nil, Update(m, mkCtx(tr), nil, rec(1, "a", 1))
 	})
 	if err != nil || calls != 1 {
 		t.Fatalf("custom maintainer: calls=%d err=%v", calls, err)
@@ -95,7 +95,12 @@ func TestCustomIndexType(t *testing.T) {
 
 type maintainerFunc func(ctx *Context, old, new *Record) error
 
-func (f maintainerFunc) Update(ctx *Context, old, new *Record) error { return f(ctx, old, new) }
+func (f maintainerFunc) UpdateAsync(ctx *Context, old, new *Record) (Pending, error) {
+	if err := f(ctx, old, new); err != nil {
+		return nil, err
+	}
+	return Done, nil
+}
 
 func TestDiffEntriesSkipsUnchanged(t *testing.T) {
 	a := []tuple.Tuple{{"x"}, {"y"}}
@@ -126,10 +131,10 @@ func TestValueMaintainerLifecycle(t *testing.T) {
 	// Insert, update (entry moves), delete.
 	_, err = db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
 		ctx := mkCtx(tr)
-		if err := vm.Update(ctx, nil, rec(1, "old", 1)); err != nil {
+		if err := Update(vm, ctx, nil, rec(1, "old", 1)); err != nil {
 			return nil, err
 		}
-		if err := vm.Update(ctx, rec(1, "old", 1), rec(1, "new", 1)); err != nil {
+		if err := Update(vm, ctx, rec(1, "old", 1), rec(1, "new", 1)); err != nil {
 			return nil, err
 		}
 		c, err := vm.Scan(ctx, TupleRange{}, ScanOptions{})
@@ -143,7 +148,7 @@ func TestValueMaintainerLifecycle(t *testing.T) {
 		if r.Value.Key[0] != "new" || r.Value.PrimaryKey[0].(int64) != 1 {
 			t.Fatalf("entry: %+v", r.Value)
 		}
-		if err := vm.Update(ctx, rec(1, "new", 1), nil); err != nil {
+		if err := Update(vm, ctx, rec(1, "new", 1), nil); err != nil {
 			return nil, err
 		}
 		c2, _ := vm.Scan(ctx, TupleRange{}, ScanOptions{})
@@ -171,7 +176,7 @@ func TestCoveringIndexValueColumns(t *testing.T) {
 	db, mkCtx := ctxFor(t, ix)
 	_, err = db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
 		ctx := mkCtx(tr)
-		if err := vm.Update(ctx, nil, rec(1, "widget", 42)); err != nil {
+		if err := Update(vm, ctx, nil, rec(1, "widget", 42)); err != nil {
 			return nil, err
 		}
 		c, err := vm.Scan(ctx, TupleRange{}, ScanOptions{})
@@ -201,13 +206,13 @@ func TestAtomicCountGroupTransitions(t *testing.T) {
 	_, err = db.Transact(func(tr *fdb.Transaction) (interface{}, error) {
 		ctx := mkCtx(tr)
 		// Two records in group "a", then one moves to group "b".
-		if err := am.Update(ctx, nil, rec(1, "a", 1)); err != nil {
+		if err := Update(am, ctx, nil, rec(1, "a", 1)); err != nil {
 			return nil, err
 		}
-		if err := am.Update(ctx, nil, rec(2, "a", 1)); err != nil {
+		if err := Update(am, ctx, nil, rec(2, "a", 1)); err != nil {
 			return nil, err
 		}
-		if err := am.Update(ctx, rec(2, "a", 1), rec(2, "b", 1)); err != nil {
+		if err := Update(am, ctx, rec(2, "a", 1), rec(2, "b", 1)); err != nil {
 			return nil, err
 		}
 		return nil, nil

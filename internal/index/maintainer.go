@@ -114,10 +114,52 @@ func (c *Context) meterWriteDelta(before fdb.TxnStats) {
 	}
 }
 
+// Pending is the await half of a two-phase index update. UpdateAsync issues
+// the update's reads and buffers what it can; Await blocks on the issued
+// futures and applies the remaining mutations. Await must be called exactly
+// once; the Pending is dead afterwards.
+type Pending interface {
+	Await() error
+}
+
+// pendingFunc adapts a closure to Pending.
+type pendingFunc func() error
+
+func (f pendingFunc) Await() error { return f() }
+
+// donePending is a comparable resolved Pending, so callers can test p == Done.
+type donePending struct{}
+
+func (donePending) Await() error { return nil }
+
+// Done is a resolved Pending: the update completed entirely during the issue
+// phase (atomic-mutation and version indexes, which never read). Awaiting it
+// is free.
+var Done Pending = donePending{}
+
 // Maintainer updates index data when records change. Exactly one of old and
 // new may be nil: insert (old nil), update (both), delete (new nil).
+//
+// UpdateAsync is the issue half of a two-phase update: it evaluates the
+// record, issues every read the update needs (uniqueness probes, skip-list
+// descents, bunched-map boundary lookups) without awaiting any, and returns a
+// Pending whose Await resolves the reads and applies the mutations. Callers
+// updating many records issue every record's UpdateAsync before awaiting any
+// Pending, so all probe reads share one simulated latency window (§8).
+// Maintainers that never read return Done. The returned Pendings must be
+// awaited in issue order.
 type Maintainer interface {
-	Update(ctx *Context, old, new *Record) error
+	UpdateAsync(ctx *Context, old, new *Record) (Pending, error)
+}
+
+// Update runs a maintainer's two phases back to back — the serial degenerate
+// case of UpdateAsync for callers updating one record at a time.
+func Update(m Maintainer, ctx *Context, old, new *Record) error {
+	p, err := m.UpdateAsync(ctx, old, new)
+	if err != nil {
+		return err
+	}
+	return p.Await()
 }
 
 // Factory builds a maintainer for an index definition, validating the

@@ -17,6 +17,13 @@ import (
 type RankMaintainer struct {
 	ix    *metadata.Index
 	value *ValueMaintainer
+
+	// Per-transaction pipelining state: every skip-list mutation in one
+	// transaction must flow through a single rankedset.Async so its write log
+	// sees them all. Keyed by the transaction so a maintainer reused across
+	// transactions (tests, long-lived caches) starts a fresh overlay.
+	asyncTr *fdb.Transaction
+	async   *rankedset.Async
 }
 
 // Sub-subspaces: 0 holds the plain value entries, 1 the skip list.
@@ -49,40 +56,83 @@ func member(entry, pk tuple.Tuple) []byte {
 	return entry.Append(pk...).Pack()
 }
 
-// Update implements Maintainer.
-func (m *RankMaintainer) Update(ctx *Context, old, new *Record) error {
-	if err := m.value.Update(m.valueCtx(ctx), old, new); err != nil {
-		return err
+// asyncFor returns the transaction's pipelining overlay, initializing the
+// skip-list heads on first use. The head probes are issued together (one
+// window per transaction, not per record) and the head writes are metered
+// here, since the apply-phase delta below won't see them.
+func (m *RankMaintainer) asyncFor(ctx *Context) (*rankedset.Async, error) {
+	if m.asyncTr != ctx.Tr {
+		rs := m.set(ctx.Space)
+		before := ctx.Tr.Stats()
+		if err := rs.Init(ctx.Tr); err != nil {
+			return nil, err
+		}
+		ctx.meterWriteDelta(before)
+		m.async = rs.Async(ctx.Tr)
+		m.asyncTr = ctx.Tr
 	}
-	rs := m.set(ctx.Space)
-	// The skip list issues its own sets/atomics/clears (including one-time
-	// head initialization); meter them from the transaction's mutation delta
-	// so rank maintenance debits the tenant like every other write path.
-	before := ctx.Tr.Stats()
-	defer ctx.meterWriteDelta(before)
-	if err := rs.Init(ctx.Tr); err != nil {
-		return err
+	return m.async, nil
+}
+
+// UpdateAsync implements Maintainer: the value sub-index's probes and every
+// skip-list floor read are issued here; the returned Pending resolves them
+// and applies the rewrites. Skip-list ops pipeline across records through the
+// shared per-transaction overlay, so Pendings must be awaited in issue order.
+func (m *RankMaintainer) UpdateAsync(ctx *Context, old, new *Record) (Pending, error) {
+	a, err := m.asyncFor(ctx)
+	if err != nil {
+		return nil, err
 	}
 	oldEntries, err := entriesFor(ctx.Index, old)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newEntries, err := entriesFor(ctx.Index, new)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	removed, added := diffEntries(oldEntries, newEntries)
+	ops := make([]*rankedset.Op, 0, len(removed)+len(added))
 	for _, t := range removed {
-		if _, err := rs.Delete(ctx.Tr, member(t, old.PrimaryKey)); err != nil {
-			return err
+		op, err := a.IssueDelete(member(t, old.PrimaryKey))
+		if err != nil {
+			return nil, err
 		}
+		ops = append(ops, op)
 	}
 	for _, t := range added {
-		if _, err := rs.Insert(ctx.Tr, member(t, new.PrimaryKey)); err != nil {
+		op, err := a.IssueInsert(member(t, new.PrimaryKey))
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	// The value sub-index's probes are issued last, once nothing else can
+	// fail: every error return above precedes the pending's issue, so no
+	// issued work is ever abandoned (the futureawait rule).
+	vp, err := m.value.UpdateAsync(m.valueCtx(ctx), old, new)
+	if err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return vp, nil
+	}
+	return pendingFunc(func() error {
+		if err := vp.Await(); err != nil {
 			return err
 		}
-	}
-	return nil
+		// The skip list issues its own sets/atomics/clears; meter them from
+		// the transaction's mutation delta so rank maintenance debits the
+		// tenant like every other write path.
+		before := ctx.Tr.Stats()
+		defer ctx.meterWriteDelta(before)
+		for _, op := range ops {
+			if _, err := op.Apply(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}), nil
 }
 
 // Rank returns the ordinal rank of a record's indexed entry; ok=false when

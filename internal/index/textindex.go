@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"recordlayer/internal/bunched"
+	"recordlayer/internal/fdb"
 	"recordlayer/internal/metadata"
 	"recordlayer/internal/text"
 	"recordlayer/internal/tuple"
@@ -20,6 +21,13 @@ type TextMaintainer struct {
 	ix        *metadata.Index
 	tokenizer text.Tokenizer
 	bunchSize int
+
+	// Per-transaction pipelining state: every bunched-map mutation in one
+	// transaction must flow through a single bunched.Async so its write log
+	// sees them all. Keyed by the transaction so a maintainer reused across
+	// transactions starts a fresh overlay.
+	asyncTr *fdb.Transaction
+	async   *bunched.Async
 }
 
 // Index options understood by TEXT indexes.
@@ -74,35 +82,59 @@ func (m *TextMaintainer) positions(r *Record, ix *metadata.Index) (map[string][]
 	return out, nil
 }
 
-// Update implements Maintainer.
-func (m *TextMaintainer) Update(ctx *Context, old, new *Record) error {
-	bm := m.mapFor(ctx)
+// asyncFor returns the transaction's pipelining overlay. Its OnRead hook
+// meters each boundary read an op resolves — the pairs a serial execution
+// would read — so token maintenance debits tenant reads identically whether
+// records are saved one at a time or in a pipelined batch.
+func (m *TextMaintainer) asyncFor(ctx *Context) *bunched.Async {
+	if m.asyncTr != ctx.Tr {
+		a := m.mapFor(ctx).Async(ctx.Tr)
+		a.OnRead = ctx.meterRangeKVs
+		m.async = a
+		m.asyncTr = ctx.Tr
+	}
+	return m.async
+}
+
+// UpdateAsync implements Maintainer: the boundary scans of every token's
+// bunch rewrite are issued here; the returned Pending resolves them and
+// applies the rewrites. Ops pipeline across records through the shared
+// per-transaction overlay, so Pendings must be awaited in issue order.
+func (m *TextMaintainer) UpdateAsync(ctx *Context, old, new *Record) (Pending, error) {
 	oldPos, err := m.positions(old, ctx.Index)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newPos, err := m.positions(new, ctx.Index)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	// The bunched map rewrites whole bunches per token; meter its mutations
-	// from the transaction delta so text maintenance debits the tenant like
-	// every other write path.
-	before := ctx.Tr.Stats()
-	defer ctx.meterWriteDelta(before)
+	a := m.asyncFor(ctx)
+	ops := make([]*bunched.Op, 0, len(oldPos)+len(newPos))
 	for tok := range oldPos {
 		if _, stillThere := newPos[tok]; !stillThere {
-			if _, err := bm.Delete(ctx.Tr, tok, old.PrimaryKey); err != nil {
-				return err
-			}
+			ops = append(ops, a.IssueDelete(tok, old.PrimaryKey))
 		}
 	}
 	for tok, offs := range newPos {
-		if err := bm.Insert(ctx.Tr, tok, new.PrimaryKey, offs); err != nil {
-			return err
-		}
+		ops = append(ops, a.IssueInsert(tok, new.PrimaryKey, offs))
 	}
-	return nil
+	if len(ops) == 0 {
+		return Done, nil
+	}
+	return pendingFunc(func() error {
+		// The bunched map rewrites whole bunches per token; meter its
+		// mutations from the transaction delta so text maintenance debits the
+		// tenant like every other write path.
+		before := ctx.Tr.Stats()
+		defer ctx.meterWriteDelta(before)
+		for _, op := range ops {
+			if _, err := op.Apply(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}), nil
 }
 
 // Posting is one text-search hit: a record and the token offsets within it.

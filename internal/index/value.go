@@ -93,15 +93,19 @@ func (m *ValueMaintainer) entryKey(space subspace.Subspace, key, pk tuple.Tuple)
 	return space.Pack(key.Append(pk...))
 }
 
-// Update implements Maintainer.
-func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
+// UpdateAsync implements Maintainer. The issue phase performs all mutations
+// — removals, then insertions — and issues the uniqueness probes between
+// them, so a record vacating its own old key probes the post-clear state and
+// the probes see the pre-insert state (data resolves at issue time). Await
+// verifies the probe results; non-unique indexes return Done.
+func (m *ValueMaintainer) UpdateAsync(ctx *Context, old, new *Record) (Pending, error) {
 	oldEntries, err := entriesFor(ctx.Index, old)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newEntries, err := entriesFor(ctx.Index, new)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	removed, added := diffEntries(oldEntries, newEntries)
 	written := 0
@@ -110,18 +114,22 @@ func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
 		key, _ := m.splitEntry(t)
 		ek := m.entryKey(ctx.Space, key, old.PrimaryKey)
 		if err := ctx.Tr.Clear(ek); err != nil {
-			return err
+			return nil, err
 		}
 		written++
 		writtenBytes += len(ek)
 	}
-	if m.ix.Unique {
+	var probes []*fdb.FutureRange
+	if m.ix.Unique && len(added) > 0 {
 		// Issue every probe before awaiting any: a fan-out save's uniqueness
 		// checks share one simulated latency window instead of paying one
 		// round trip per added entry (§8). Issued after the removals so a
 		// record vacating its own old key probes the post-clear state.
-		if err := m.checkUniqueAll(ctx, added, new.PrimaryKey); err != nil {
-			return err
+		probes = make([]*fdb.FutureRange, len(added))
+		for i, t := range added {
+			key, _ := m.splitEntry(t)
+			begin, end := ctx.Space.RangeForTuple(key)
+			probes[i] = ctx.issueRangeAsync(begin, end, fdb.RangeOptions{Limit: 2})
 		}
 	}
 	for _, t := range added {
@@ -132,7 +140,7 @@ func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
 		}
 		ek := m.entryKey(ctx.Space, key, new.PrimaryKey)
 		if err := ctx.Tr.Set(ek, packed); err != nil {
-			return err
+			return nil, err
 		}
 		written++
 		writtenBytes += len(ek) + len(packed)
@@ -140,22 +148,18 @@ func (m *ValueMaintainer) Update(ctx *Context, old, new *Record) error {
 	if written > 0 {
 		ctx.Meter.RecordWrite(written, writtenBytes)
 	}
-	return nil
+	if probes == nil {
+		return Done, nil
+	}
+	pk := new.PrimaryKey
+	return pendingFunc(func() error {
+		return m.verifyUnique(ctx, added, probes, pk)
+	}), nil
 }
 
-// checkUniqueAll rejects any added entry whose index key is already held by a
-// different primary key. All probes are issued as concurrent futures first,
-// then verified in order.
-func (m *ValueMaintainer) checkUniqueAll(ctx *Context, added []tuple.Tuple, pk tuple.Tuple) error {
-	if len(added) == 0 {
-		return nil
-	}
-	probes := make([]*fdb.FutureRange, len(added))
-	for i, t := range added {
-		key, _ := m.splitEntry(t)
-		begin, end := ctx.Space.RangeForTuple(key)
-		probes[i] = ctx.issueRangeAsync(begin, end, fdb.RangeOptions{Limit: 2})
-	}
+// verifyUnique rejects any added entry whose index key was already held by a
+// different primary key when its probe was issued.
+func (m *ValueMaintainer) verifyUnique(ctx *Context, added []tuple.Tuple, probes []*fdb.FutureRange, pk tuple.Tuple) error {
 	for i, t := range added {
 		key, _ := m.splitEntry(t)
 		kvs, _, err := probes[i].Get()

@@ -41,8 +41,17 @@ func newVersionMaintainer(ix *metadata.Index) (Maintainer, error) {
 // KeyColumns returns the number of key columns preceding the primary key.
 func (m *VersionMaintainer) KeyColumns() int { return m.columns }
 
-// Update implements Maintainer.
-func (m *VersionMaintainer) Update(ctx *Context, old, new *Record) error {
+// UpdateAsync implements Maintainer. Version indexes never read — clears,
+// sets, and versionstamped keys all buffer immediately — so the whole update
+// happens at issue time and the returned Pending is Done.
+func (m *VersionMaintainer) UpdateAsync(ctx *Context, old, new *Record) (Pending, error) {
+	if err := m.update(ctx, old, new); err != nil {
+		return nil, err
+	}
+	return Done, nil
+}
+
+func (m *VersionMaintainer) update(ctx *Context, old, new *Record) error {
 	// Old entries carry the old record's stored (complete) version, so they
 	// are ordinary keys to clear.
 	oldEntries, err := entriesFor(ctx.Index, old)

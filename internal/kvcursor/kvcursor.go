@@ -157,6 +157,26 @@ func (c *kvCursor) fill() error {
 	return nil
 }
 
+// Prefetch implements cursor.Prefetcher: when the buffer is drained and no
+// read-ahead future is in flight, it issues the next batch's range read
+// without awaiting it, so a composite parent can overlap this cursor's fill
+// with its siblings'. Results are unchanged — Next's fill consumes the
+// pending future exactly as if it had issued the read itself. Honors
+// NoReadAhead only in spirit: the issued batch is one Next is already
+// committed to reading, not a speculative extra.
+func (c *kvCursor) Prefetch() {
+	if c.halted != nil || c.pending != nil || c.bufPos < len(c.buf) {
+		return
+	}
+	if c.started && !c.more {
+		return
+	}
+	if bytes.Compare(c.begin, c.end) >= 0 {
+		return
+	}
+	c.pending = c.issueBatch()
+}
+
 // Next implements cursor.Cursor.
 func (c *kvCursor) Next() (cursor.Result[fdb.KeyValue], error) {
 	if c.halted != nil {

@@ -8,15 +8,20 @@ import (
 
 // FutureAwait checks that every FutureValue/FutureRange issued by
 // GetAsync/GetRangeAsync is awaited (.Get) on all control-flow paths before
-// the function returns. An abandoned future skews simwait accounting (its
-// in-flight slot ages out instead of being charged) and, on the write path,
-// commit flushes it implicitly — hiding latency the caller thinks it
-// overlapped. Futures that escape the function (stored in a struct, slice, or
-// map, passed along, or returned) are assumed to be awaited by their new
-// owner and are not tracked.
+// the function returns, and that every index.Pending issued by a maintainer's
+// UpdateAsync is awaited (.Await) or handed off on all paths. An abandoned
+// future skews simwait accounting (its in-flight slot ages out instead of
+// being charged) and, on the write path, commit flushes it implicitly —
+// hiding latency the caller thinks it overlapped; an abandoned Pending is
+// worse: the index mutation it carries is silently never applied. Futures and
+// pendings that escape the function (stored in a struct, slice, or map,
+// passed along, or returned) are assumed to be resolved by their new owner
+// and are not tracked. For the two-phase `p, err := m.UpdateAsync(...)` form,
+// an `if err != nil { return ... }` guard is exempt: when the issue itself
+// failed there is no pending to await.
 var FutureAwait = &Analyzer{
 	Name: "futureawait",
-	Doc:  "every GetAsync/GetRangeAsync future must be awaited (.Get) on all paths before the function returns",
+	Doc:  "every GetAsync/GetRangeAsync future must be awaited (.Get), and every UpdateAsync pending awaited (.Await) or returned, on all paths",
 	Run:  runFutureAwait,
 }
 
@@ -26,6 +31,17 @@ func isIssueCall(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	return fn.Name() == "GetAsync" || fn.Name() == "GetRangeAsync"
+}
+
+// isPendingIssueCall recognizes the index layer's two-phase issue site: any
+// UpdateAsync method declared in recordlayer/internal/index (the Maintainer
+// interface or a concrete maintainer).
+func isPendingIssueCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "recordlayer/internal/index" {
+		return false
+	}
+	return fn.Name() == "UpdateAsync"
 }
 
 func runFutureAwait(p *Pass) error {
@@ -75,15 +91,19 @@ func checkFuncFutures(p *Pass, body *ast.BlockStmt) {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !isIssueCall(p.Info, call) {
+		if !ok {
 			return true
 		}
-		checkIssueSite(p, body, call, parent)
+		if isIssueCall(p.Info, call) {
+			checkIssueSite(p, body, call, parent, false)
+		} else if isPendingIssueCall(p.Info, call) {
+			checkIssueSite(p, body, call, parent, true)
+		}
 		return true
 	})
 }
 
-func checkIssueSite(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, parent map[ast.Node]ast.Node) {
+func checkIssueSite(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, parent map[ast.Node]ast.Node, pending bool) {
 	up := parent[call]
 	for {
 		if pe, ok := up.(*ast.ParenExpr); ok {
@@ -92,13 +112,17 @@ func checkIssueSite(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, parent map
 		}
 		break
 	}
+	noun, verb := "future", ".Get()"
+	if pending {
+		noun, verb = "pending index update", ".Await()"
+	}
 	switch pn := up.(type) {
 	case *ast.SelectorExpr:
 		// tr.GetAsync(k).Get() — immediately awaited (any chained method
 		// call consumes the future).
 		return
 	case *ast.ExprStmt:
-		p.Reportf(call.Pos(), "future discarded at issue: the read's simulated wait is never charged to this path; await it with .Get() or drop the Async variant")
+		p.Reportf(call.Pos(), "%s discarded at issue: the work is never resolved on this path; await it with %s or use the synchronous form", noun, verb)
 		return
 	case *ast.AssignStmt:
 		// Find which LHS receives this call.
@@ -116,7 +140,7 @@ func checkIssueSite(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, parent map
 			return // stored into a field/slot: escapes to its owner
 		}
 		if lhs.Name == "_" {
-			p.Reportf(call.Pos(), "future assigned to _: never awaited; await it with .Get() or drop the Async variant")
+			p.Reportf(call.Pos(), "%s assigned to _: never awaited; await it with %s or use the synchronous form", noun, verb)
 			return
 		}
 		obj := p.Info.Defs[lhs]
@@ -126,12 +150,28 @@ func checkIssueSite(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, parent map
 		if obj == nil {
 			return
 		}
-		checkTrackedFuture(p, body, call, pn, obj, parent)
+		// The two-phase form `p, err := m.UpdateAsync(...)` also binds the
+		// issue error; an `if err != nil { return }` guard is exempt from the
+		// await requirement (a failed issue produced no pending).
+		var errObj types.Object
+		if pending && len(pn.Rhs) == 1 && len(pn.Lhs) == 2 {
+			if errIdent, ok := ast.Unparen(pn.Lhs[1]).(*ast.Ident); ok && errIdent.Name != "_" {
+				errObj = p.Info.Defs[errIdent]
+				if errObj == nil {
+					errObj = p.Info.Uses[errIdent]
+				}
+			}
+		}
+		checkTrackedFuture(p, body, call, pn, obj, errObj, parent, verb)
 	case *ast.ValueSpec:
+		var errObj types.Object
+		if pending && len(pn.Values) == 1 && len(pn.Names) == 2 && pn.Names[1].Name != "_" {
+			errObj = p.Info.Defs[pn.Names[1]]
+		}
 		for i, v := range pn.Values {
 			if ast.Unparen(v) == call && i < len(pn.Names) {
 				if obj := p.Info.Defs[pn.Names[i]]; obj != nil {
-					checkTrackedFuture(p, body, call, pn, obj, parent)
+					checkTrackedFuture(p, body, call, pn, obj, errObj, parent, verb)
 				}
 			}
 		}
@@ -213,8 +253,12 @@ const (
 )
 
 type flowChecker struct {
-	p      *Pass
-	obj    types.Object
+	p   *Pass
+	obj types.Object
+	// errObj, when set, is the error bound at the same issue site; a branch
+	// guarded by `errObj != nil` may return without awaiting (the issue
+	// failed, so there is nothing to await).
+	errObj types.Object
 	badPos token.Pos
 }
 
@@ -255,6 +299,14 @@ func (fc *flowChecker) stmt(s ast.Stmt) flowOutcome {
 		}
 		if useIn(fc.p, s.Cond, fc.obj) != useNone {
 			return flowAwaited
+		}
+		if fc.errObj != nil && condChecksObjNotNil(fc.p.Info, s.Cond, fc.errObj) {
+			// Error-guard exemption: the then branch runs only when the issue
+			// itself failed, so returning there without an await is fine.
+			if s.Else != nil {
+				return fc.stmt(s.Else)
+			}
+			return flowFallthru
 		}
 		thenO := fc.seq(s.Body.List)
 		elseO := flowFallthru
@@ -343,11 +395,33 @@ func (fc *flowChecker) switchLike(s ast.Stmt) flowOutcome {
 	return flowFallthru
 }
 
-// checkTrackedFuture verifies a future assigned to a local variable: if it
-// never escapes, every path from the issue statement to the function's exit
-// must pass a .Get().
-func checkTrackedFuture(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, issueStmt ast.Node, obj types.Object, parent map[ast.Node]ast.Node) {
-	fc := &flowChecker{p: p, obj: obj}
+// condChecksObjNotNil reports whether cond (possibly an && chain) includes a
+// `obj != nil` comparison, resolved through the type checker rather than by
+// expression text.
+func condChecksObjNotNil(info *types.Info, cond ast.Expr, obj types.Object) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condChecksObjNotNil(info, c.X, obj) || condChecksObjNotNil(info, c.Y, obj)
+		case token.NEQ:
+			x, xok := ast.Unparen(c.X).(*ast.Ident)
+			y, yok := ast.Unparen(c.Y).(*ast.Ident)
+			if !xok || !yok {
+				return false
+			}
+			return (info.Uses[x] == obj && y.Name == "nil") ||
+				(info.Uses[y] == obj && x.Name == "nil")
+		}
+	}
+	return false
+}
+
+// checkTrackedFuture verifies a future or pending assigned to a local
+// variable: if it never escapes, every path from the issue statement to the
+// function's exit must pass an await (modulo the error-guard exemption).
+func checkTrackedFuture(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, issueStmt ast.Node, obj, errObj types.Object, parent map[ast.Node]ast.Node, verb string) {
+	fc := &flowChecker{p: p, obj: obj, errObj: errObj}
 
 	// Walk outward from the issue statement: scan the remainder of each
 	// enclosing block in turn. Falling off the end of the function body means
@@ -371,13 +445,13 @@ func checkTrackedFuture(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, issueS
 				case flowAwaited:
 					return
 				case flowBad:
-					p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before .Get() (see %s); await it on every path or let it escape to an owner that does",
-						objName(obj), p.Fset.Position(fc.badPos))
+					p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before %s (see %s); await it on every path or let it escape to an owner that does",
+						objName(obj), verb, p.Fset.Position(fc.badPos))
 					return
 				}
 			}
 			if blk == body {
-				p.Reportf(call.Pos(), "future %s is not awaited before the function returns; call .Get() on every path", objName(obj))
+				p.Reportf(call.Pos(), "future %s is not awaited before the function returns; call %s on every path", objName(obj), verb)
 				return
 			}
 		}
@@ -387,7 +461,7 @@ func checkTrackedFuture(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, issueS
 				if out == flowAwaited {
 					return
 				}
-				p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before .Get() (see %s)", objName(obj), p.Fset.Position(fc.badPos))
+				p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before %s (see %s)", objName(obj), verb, p.Fset.Position(fc.badPos))
 				return
 			}
 		}
@@ -396,13 +470,13 @@ func checkTrackedFuture(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, issueS
 				if out == flowAwaited {
 					return
 				}
-				p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before .Get() (see %s)", objName(obj), p.Fset.Position(fc.badPos))
+				p.Reportf(call.Pos(), "future %s may be abandoned: a path returns before %s (see %s)", objName(obj), verb, p.Fset.Position(fc.badPos))
 				return
 			}
 		}
 		node = up
 	}
-	p.Reportf(call.Pos(), "future %s is not awaited before the function returns; call .Get() on every path", objName(obj))
+	p.Reportf(call.Pos(), "future %s is not awaited before the function returns; call %s on every path", objName(obj), verb)
 }
 
 func (fc *flowChecker) seqAfter(stmts []ast.Stmt, after ast.Node) flowOutcome {

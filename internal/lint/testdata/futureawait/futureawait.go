@@ -2,7 +2,10 @@
 // pretend import path; never built into the module.
 package fixture
 
-import "recordlayer/internal/fdb"
+import (
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/index"
+)
 
 // earlyReturn is the satellite-mandated case: an error path returns before
 // the future is awaited, abandoning its simulated wait.
@@ -80,4 +83,72 @@ func escapes(tr *fdb.Transaction, sink func(*fdb.FutureValue)) {
 func allowedDiscard(tr *fdb.Transaction) {
 	//lint:allow futureawait fixture: prefetch warms the page cache, result intentionally unused
 	tr.GetAsync([]byte("a"))
+}
+
+// --- two-phase index maintenance (UpdateAsync pendings) ---
+
+// pendingErrGuard is the canonical two-phase caller: the err-guard return is
+// exempt, and the pending is awaited on the surviving path.
+func pendingErrGuard(m index.Maintainer, ctx *index.Context, old, new *index.Record) error {
+	p, err := m.UpdateAsync(ctx, old, new)
+	if err != nil {
+		return err
+	}
+	return p.Await()
+}
+
+// pendingAbandoned: a non-error path returns before the pending resolves —
+// the index mutation would silently never apply.
+func pendingAbandoned(m index.Maintainer, ctx *index.Context, old, new *index.Record, skip bool) error {
+	p, err := m.UpdateAsync(ctx, old, new) // want "may be abandoned"
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return p.Await()
+}
+
+// pendingDiscarded: calling UpdateAsync as a statement drops the pending (and
+// the error) on the floor.
+func pendingDiscarded(m index.Maintainer, ctx *index.Context, old, new *index.Record) {
+	m.UpdateAsync(ctx, old, new) // want "pending index update discarded at issue"
+}
+
+// pendingBlank: binding the pending to _ is a discard with extra steps.
+func pendingBlank(m index.Maintainer, ctx *index.Context, old, new *index.Record) {
+	_, _ = m.UpdateAsync(ctx, old, new) // want "pending index update assigned to _"
+}
+
+// pendingReturned: handing the pending to the caller transfers the await
+// obligation.
+func pendingReturned(m index.Maintainer, ctx *index.Context, old, new *index.Record) (index.Pending, error) {
+	return m.UpdateAsync(ctx, old, new)
+}
+
+// pendingCollected: the batch pattern — pendings accumulate in a slice and
+// escape to the collection's owner.
+func pendingCollected(m index.Maintainer, ctx *index.Context, recs []*index.Record) ([]index.Pending, error) {
+	var out []index.Pending
+	for _, r := range recs {
+		p, err := m.UpdateAsync(ctx, nil, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// pendingMaybeAwait: awaited on one branch, falls off the end on the other —
+// the err guard alone does not satisfy the rule.
+func pendingMaybeAwait(m index.Maintainer, ctx *index.Context, old, new *index.Record, b bool) {
+	p, err := m.UpdateAsync(ctx, old, new) // want "not awaited before the function returns"
+	if err != nil {
+		return
+	}
+	if b {
+		p.Await()
+	}
 }

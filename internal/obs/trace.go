@@ -46,7 +46,12 @@ const (
 	// SpanBackoff covers the retry backoff sleep between attempts.
 	SpanBackoff = "runner.backoff"
 	// SpanIndexPrefix prefixes per-index maintenance spans: "index.<name>".
+	// A span opens when the maintainer's update is issued and closes when it
+	// resolves, so batch saves show overlapping index spans.
 	SpanIndexPrefix = "index."
+	// SpanIndexerBatch covers one OnlineIndexer batch transaction: scan,
+	// issue, resolve. Attr records the batch limit and records indexed.
+	SpanIndexerBatch = "indexer.batch"
 	// SpanLeaseRefresh is one distributed-quota heartbeat: limits reload,
 	// demand estimation, and lease claims for every rate-limited tenant.
 	SpanLeaseRefresh = "lease.refresh"

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"recordlayer/internal/cursor"
+	"recordlayer/internal/fdb"
+	"recordlayer/internal/query"
+)
+
+// mergeQueries returns the union and intersection queries the pipelined-merge
+// tests exercise, with the plan fragment each must compile to.
+func mergeQueries() map[string]struct {
+	q    query.RecordQuery
+	frag string
+} {
+	return map[string]struct {
+		q    query.RecordQuery
+		frag string
+	}{
+		"union": {
+			q: query.RecordQuery{RecordTypes: []string{"Person"},
+				Filter: query.Or(
+					query.Field("name").Equals("alice"),
+					query.Field("city").Equals("tokyo"),
+				)},
+			frag: "Union",
+		},
+		"intersection": {
+			q: query.RecordQuery{RecordTypes: []string{"Person"},
+				Filter: query.And(
+					query.Field("name").Equals("alice"),
+					query.Field("tags").OneOfThem().Equals("chess"),
+				)},
+			frag: "Intersection",
+		},
+	}
+}
+
+// TestMergePlansUnderLatencyMatchZeroLatency executes union and intersection
+// plans against a latency-modeled store and a zero-latency store seeded with
+// the same data, comparing results, halt reasons, and continuations — both in
+// one drain and paged through a scan limiter that halts mid-stream. The
+// latency model only moves I/O issue time (prefetch, read-ahead, pipelined
+// merges), so every observable output must be byte-identical.
+func TestMergePlansUnderLatencyMatchZeroLatency(t *testing.T) {
+	plain := newPlanEnv(t)
+	latent := newPlanEnvOn(t, fdb.Open(&fdb.Options{
+		Latency: fdb.LatencyModel{PerRead: time.Millisecond, Virtual: true}}))
+	h := New(plain.md, Config{PreferIndexIntersection: true})
+	for kind, tc := range mergeQueries() {
+		p, err := h.Plan(tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(p.String(), tc.frag) {
+			t.Fatalf("%s: expected %s plan, got %s", kind, tc.frag, p)
+		}
+		// Full drain.
+		plainIDs, plainReason, plainCont := plain.run(t, p, ExecuteOptions{})
+		latentIDs, latentReason, latentCont := latent.run(t, p, ExecuteOptions{})
+		if fmt.Sprint(plainIDs) != fmt.Sprint(latentIDs) ||
+			plainReason != latentReason || !bytes.Equal(plainCont, latentCont) {
+			t.Fatalf("%s: latency changed results: %v/%v/%q vs %v/%v/%q", kind,
+				latentIDs, latentReason, latentCont, plainIDs, plainReason, plainCont)
+		}
+		// Paged: a 2-row scan limit halts mid-stream; each page and each
+		// continuation hand-off must agree between the two stores.
+		var pCont, lCont []byte
+		for page := 0; ; page++ {
+			pIDs, pReason, pNext := plain.run(t, p,
+				ExecuteOptions{Continuation: pCont, Limiter: cursor.NewLimiter(2, 0, time.Time{}, nil)})
+			lIDs, lReason, lNext := latent.run(t, p,
+				ExecuteOptions{Continuation: lCont, Limiter: cursor.NewLimiter(2, 0, time.Time{}, nil)})
+			if fmt.Sprint(pIDs) != fmt.Sprint(lIDs) || pReason != lReason ||
+				!bytes.Equal(pNext, lNext) {
+				t.Fatalf("%s page %d: %v/%v/%q vs %v/%v/%q", kind, page,
+					lIDs, lReason, lNext, pIDs, pReason, pNext)
+			}
+			if pReason == cursor.SourceExhausted {
+				break
+			}
+			pCont, lCont = pNext, lNext
+			if page > 10 {
+				t.Fatalf("%s: paging never exhausted", kind)
+			}
+		}
+	}
+}

@@ -105,6 +105,11 @@ type statsCursor struct {
 	st    *core.Store
 }
 
+// Prefetch implements cursor.Prefetcher by forwarding to the wrapped node.
+// The issued I/O lands in the same transaction stats either way; only its
+// latency window moves.
+func (c *statsCursor) Prefetch() { cursor.Prefetch(c.inner) }
+
 func (c *statsCursor) Next() (cursor.Result[*core.StoredRecord], error) {
 	if c.st == nil {
 		r, err := c.inner.Next()
@@ -145,6 +150,9 @@ type rowInCursor[T any] struct {
 	inner cursor.Cursor[T]
 	node  *obs.PlanStats
 }
+
+// Prefetch implements cursor.Prefetcher by forwarding to the wrapped node.
+func (c *rowInCursor[T]) Prefetch() { cursor.Prefetch(c.inner) }
 
 func (c *rowInCursor[T]) Next() (cursor.Result[T], error) {
 	r, err := c.inner.Next()

@@ -48,7 +48,14 @@ type planEnv struct {
 
 func newPlanEnv(t testing.TB) *planEnv {
 	t.Helper()
-	env := &planEnv{db: fdb.Open(nil), md: planSchema(t), sp: subspace.FromTuple(tuple.Tuple{"t"})}
+	return newPlanEnvOn(t, fdb.Open(nil))
+}
+
+// newPlanEnvOn seeds the standard six-person data set on a caller-supplied
+// database, so tests can run the same plans against a latency-modeled store.
+func newPlanEnvOn(t testing.TB, db *fdb.Database) *planEnv {
+	t.Helper()
+	env := &planEnv{db: db, md: planSchema(t), sp: subspace.FromTuple(tuple.Tuple{"t"})}
 	people := []struct {
 		id   int64
 		name string

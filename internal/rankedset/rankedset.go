@@ -101,16 +101,21 @@ func decodeCount(b []byte) int64 {
 	return int64(binary.LittleEndian.Uint64(b))
 }
 
-// Init creates the head entries; call once per subspace (idempotent).
+// Init creates the head entries; call once per subspace (idempotent). The
+// per-level existence probes are issued together, so initialization costs one
+// latency window instead of one per level.
 func (rs *RankedSet) Init(tr *fdb.Transaction) error {
+	futs := make([]*fdb.FutureValue, rs.levels)
 	for l := 0; l < rs.levels; l++ {
-		k := rs.levelKey(l, head)
-		v, err := tr.Snapshot().Get(k)
+		futs[l] = tr.Snapshot().GetAsync(rs.levelKey(l, head))
+	}
+	for l, fut := range futs {
+		v, err := fut.Get()
 		if err != nil {
 			return err
 		}
 		if v == nil {
-			if err := tr.Set(k, encodeCount(0)); err != nil {
+			if err := tr.Set(rs.levelKey(l, head), encodeCount(0)); err != nil {
 				return err
 			}
 		}
@@ -131,26 +136,6 @@ func (rs *RankedSet) Contains(tr *fdb.Transaction, key []byte) (bool, error) {
 	return v != nil, nil
 }
 
-// floor returns the greatest entry at the given level with entryKey <= key,
-// along with its count. The head entry guarantees existence. Reads are
-// snapshot reads (§10.1).
-func (rs *RankedSet) floor(tr *fdb.Transaction, level int, key []byte) ([]byte, int64, error) {
-	begin, _ := rs.levelRange(level)
-	end := fdb.KeyAfter(rs.levelKey(level, key))
-	kvs, _, err := tr.Snapshot().GetRange(begin, end, fdb.RangeOptions{Limit: 1, Reverse: true})
-	if err != nil {
-		return nil, 0, err
-	}
-	if len(kvs) == 0 {
-		return nil, 0, fmt.Errorf("rankedset: level %d head missing; call Init", level)
-	}
-	t, err := rs.space.Unpack(kvs[0].Key)
-	if err != nil {
-		return nil, 0, err
-	}
-	return t[1].([]byte), decodeCount(kvs[0].Value), nil
-}
-
 // sumBelow sums, at the given level, the counts of entries in [from, to) —
 // the number of level-0 members in that key interval, provided both bounds
 // are entries of this level (or head).
@@ -168,109 +153,50 @@ func (rs *RankedSet) sumBelow(tr *fdb.Transaction, level int, from, to []byte) (
 	return sum, nil
 }
 
-// Insert adds a member; it is a no-op if already present (first return false).
+// Insert adds a member; it is a no-op if already present (first return
+// false). Built on the pipelined Async path: the membership probe and every
+// level's floor read go out together, so one insert costs ~1 latency window
+// plus any finger-split sums, instead of one window per level.
 func (rs *RankedSet) Insert(tr *fdb.Transaction, key []byte) (bool, error) {
-	present, err := rs.Contains(tr, key)
+	op, err := rs.Async(tr).IssueInsert(key)
 	if err != nil {
 		return false, err
 	}
-	if present {
-		return false, nil
-	}
-	// Level 0: the member itself, count 1.
-	if err := tr.Set(rs.levelKey(0, key), encodeCount(1)); err != nil {
-		return false, err
-	}
-	one := encodeCount(1)
-	for l := 1; l < rs.levels; l++ {
-		prev, prevCount, err := rs.floor(tr, l, key)
-		if err != nil {
-			return false, err
-		}
-		if !rs.inLvl(key, l) {
-			// The key does not appear on this level: the covering finger
-			// now skips one more member. Atomic ADD keeps concurrent
-			// inserts conflict-free (§10.1).
-			if err := tr.Atomic(fdb.MutationAdd, rs.levelKey(l, prev), one); err != nil {
-				return false, err
-			}
-			continue
-		}
-		// Split prev's finger: prev now covers [prev, key), key covers
-		// [key, next). Lower levels are already updated, so summing them
-		// over [prev, key) counts exactly the members below the new key.
-		below, err := rs.sumBelow(tr, l-1, prev, key)
-		if err != nil {
-			return false, err
-		}
-		if err := tr.Set(rs.levelKey(l, prev), encodeCount(below)); err != nil {
-			return false, err
-		}
-		if err := tr.Set(rs.levelKey(l, key), encodeCount(prevCount+1-below)); err != nil {
-			return false, err
-		}
-	}
-	return true, nil
+	return op.Apply()
 }
 
-// Delete removes a member; no-op when absent (first return false).
+// Delete removes a member; no-op when absent (first return false). Pipelined
+// like Insert.
 func (rs *RankedSet) Delete(tr *fdb.Transaction, key []byte) (bool, error) {
-	present, err := rs.Contains(tr, key)
+	op, err := rs.Async(tr).IssueDelete(key)
 	if err != nil {
 		return false, err
 	}
-	if !present {
-		return false, nil
-	}
-	if err := tr.Clear(rs.levelKey(0, key)); err != nil {
-		return false, err
-	}
-	minusOne := encodeCount(-1)
-	for l := 1; l < rs.levels; l++ {
-		if !rs.inLvl(key, l) {
-			prev, _, err := rs.floor(tr, l, key)
-			if err != nil {
-				return false, err
-			}
-			if err := tr.Atomic(fdb.MutationAdd, rs.levelKey(l, prev), minusOne); err != nil {
-				return false, err
-			}
-			continue
-		}
-		// Merge the member's finger back into its predecessor.
-		raw, err := tr.Get(rs.levelKey(l, key))
-		if err != nil {
-			return false, err
-		}
-		count := decodeCount(raw)
-		if err := tr.Clear(rs.levelKey(l, key)); err != nil {
-			return false, err
-		}
-		// The floor is computed on keys strictly before this member now that
-		// its own entry is cleared from the read-your-writes view.
-		prev, prevCount, err := rs.floor(tr, l, key)
-		if err != nil {
-			return false, err
-		}
-		if err := tr.Set(rs.levelKey(l, prev), encodeCount(prevCount+count-1)); err != nil {
-			return false, err
-		}
-	}
-	return true, nil
+	return op.Apply()
 }
 
 // Rank returns the 0-based ordinal rank of key. The second result is false
-// when the key is not a member.
+// when the key is not a member. The membership probe overlaps the descent
+// instead of gating it, saving its latency window; a non-member pays the
+// descent's snapshot reads (the serial check skipped them), which add no
+// conflict ranges.
 func (rs *RankedSet) Rank(tr *fdb.Transaction, key []byte) (int64, bool, error) {
-	present, err := rs.Contains(tr, key)
+	if len(key) == 0 {
+		return 0, false, fmt.Errorf("rankedset: empty key is reserved")
+	}
+	fut := tr.GetAsync(rs.levelKey(0, key))
+	r, rerr := rs.countLess(tr, key)
+	v, err := fut.Get()
 	if err != nil {
 		return 0, false, err
 	}
-	if !present {
+	if v == nil {
 		return 0, false, nil
 	}
-	r, err := rs.countLess(tr, key)
-	return r, true, err
+	if rerr != nil {
+		return 0, false, rerr
+	}
+	return r, true, nil
 }
 
 // CountLess returns how many members sort strictly before key (key need not

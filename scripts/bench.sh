@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmarks twice — instant reads, then a 100µs-per-read
-# simulated I/O latency profile — and writes BENCH_7.json with ns/op, B/op,
+# simulated I/O latency profile — and writes BENCH_8.json with ns/op, B/op,
 # allocs/op, simulator reads per op, and simulated I/O wait per op. The
-# committed BENCH_7.json is the baseline future PRs compare against; CI
+# committed BENCH_8.json is the baseline future PRs compare against; CI
 # regenerates and uploads a fresh one per run and compares against the
-# committed BENCH_6.json baseline, failing on zero-latency regressions over
-# 2% — the "observability off must be free" budget.
+# committed BENCH_7.json baseline, failing on zero-latency regressions over
+# 2% — the "observability off must be free" budget. Under the latency suite,
+# IndexHeavySave/batch50 vs loop50 shows the two-phase maintainers' shared
+# probe window, and MergeQuery shows the pipelined union/intersection drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_7.json}"
-pat='BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkSaveRecord|BenchmarkTuplePack'
+out="${1:-BENCH_8.json}"
+pat='BenchmarkPlannedQuery|BenchmarkIndexScan$|BenchmarkLoadRecord|BenchmarkSaveRecord|BenchmarkTuplePack|BenchmarkIndexHeavySave|BenchmarkMergeQuery'
 
 # Fail fast if the comparator doesn't build: discovering that only after
 # minutes of benchmarking wastes the whole run (and in CI, the A/B gate's).
@@ -55,7 +57,7 @@ END {
 
 {
   echo '{'
-  echo '  "suite": "tracing + metrics + query stats instrumented; observability off on the bench path",'
+  echo '  "suite": "two-phase index maintenance + pipelined merge plans; index-heavy saves and 2-way merges measured under latency",'
   echo '  "benchmarks": ['
   parse "$raw0"
   echo '  ],'
@@ -70,6 +72,6 @@ echo "wrote $out"
 # hardware, so machine drift swamps a tight threshold here. The enforced <2%
 # overhead gate is CI's same-machine A/B against the parent commit
 # (benchcmp -maxregress 2 in .github/workflows/ci.yml).
-if [ -f BENCH_6.json ]; then
-  go run ./scripts/benchcmp -old BENCH_6.json -new "$out"
+if [ -f BENCH_7.json ]; then
+  go run ./scripts/benchcmp -old BENCH_7.json -new "$out"
 fi
