@@ -13,6 +13,7 @@
 //	go run ./cmd/experiments -run a1..a4  # ablations
 //	go run ./cmd/experiments -run mix     # façade-driven operation mix (§8.2)
 //	go run ./cmd/experiments -run nn      # noisy-neighbor tenant governance
+//	go run ./cmd/experiments -run chaos   # fault-injection robustness harness
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id: f1,t1,t2,e1,e2,f5,a1,a2,a3,a4,all")
+	run := flag.String("run", "all", "experiment id: f1,t1,t2,e1,e2,f5,a1,a2,a3,a4,mix,nn,chaos,all")
 	stores := flag.Int("stores", 200_000, "synthetic record stores for Figure 1")
 	docs := flag.Int("docs", 233, "documents for Table 2 (paper used 233)")
 	txns := flag.Int("txns", 300, "transactions for the size distribution")
@@ -37,7 +38,7 @@ func main() {
 
 	ids := []string{*run}
 	if *run == "all" {
-		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4", "mix", "nn"}
+		ids = []string{"f1", "t1", "t2", "e1", "e2", "f5", "a1", "a2", "a3", "a4", "mix", "nn", "chaos"}
 	}
 	for i, id := range ids {
 		if i > 0 {
@@ -105,6 +106,8 @@ func runOne(id string, stores, docs, txns int, short bool) error {
 			stats.Retries, stats.PlanCacheHits, stats.PlanCacheMiss)
 	case "nn":
 		return runNoisyNeighbor(w, short)
+	case "chaos":
+		return runChaos(w, short)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -225,5 +228,58 @@ func runNoisyNeighbor(w io.Writer, short bool) error {
 	}
 	fmt.Fprintf(w, "  governance overhead (single tenant, generous limits): %v -> %v per txn (%+.1f%%)\n",
 		un.Round(time.Microsecond), gov.Round(time.Microsecond), overhead)
+	return nil
+}
+
+// chaosSeeds are the fixed fault schedules the short (CI smoke gate) mode
+// replays; a full run uses the first seed only but a larger workload.
+var chaosSeeds = []int64{7, 42, 1337}
+
+// runChaos prints the fault-injection robustness harness: a seeded mixed
+// workload under injected conflicts, maybe-committed commits, stale reads,
+// and latency spikes, then a full audit (lost acks, ghost writes, index
+// scrub, lease over-grant). In short mode it replays every fixed seed and
+// fails on any violated invariant — the CI gate.
+func runChaos(w io.Writer, short bool) error {
+	fmt.Fprintln(w, "Chaos: deterministic fault injection + consistency audit")
+	seeds := chaosSeeds
+	cfg := workload.ChaosConfig{Writes: 600, LeaseRounds: 60}
+	if short {
+		cfg = workload.ChaosConfig{} // defaults: 240 writes, 40 lease rounds
+	} else {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg.Seed = seed
+		stats, err := workload.RunChaos(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		f := stats.Faults
+		fmt.Fprintf(w, "\n  seed %d: %d writes, %d queries (%d rows, %d query retries exhausted)\n",
+			seed, stats.Writes, stats.Queries, stats.RowsRead, stats.QueryFailures)
+		fmt.Fprintf(w, "    faults dealt: %d conflicts, %d unknown-result (%d applied), %d stale reads, %d future reads, %d latency spikes\n",
+			f.CommitsNotCommitted, f.CommitsUnknown, f.UnknownApplied, f.ReadsTooOld, f.ReadsFuture, f.LatencySpikes)
+		fmt.Fprintf(w, "    write fates: %d acked, %d maybe-committed (%d turned out durable), %d cleanly failed\n",
+			stats.Acked, stats.Unknown, stats.UnknownApplied, stats.CleanFailed)
+		fmt.Fprintf(w, "    audit: %d lost acks, %d ghosts; counter %d in [%d, %d]\n",
+			stats.LostAcks, stats.Ghosts, stats.CounterValue,
+			stats.CounterAcked, stats.CounterAcked+stats.CounterUnknown)
+		fmt.Fprintf(w, "    scrub: %d entries + %d records verified, %d issues\n",
+			stats.ScrubEntries, stats.ScrubRecords, stats.ScrubIssues)
+		fmt.Fprintf(w, "    leases: %d rounds, %d failed heartbeats, slice-sum ok: %v, enforced-sum ok: %v\n",
+			stats.LeaseRounds, stats.LeaseRefreshFailures, stats.LeaseSliceSumOK, stats.LeaseEnforcedSumOK)
+		if len(stats.RetriesByCause) > 0 {
+			fmt.Fprintf(w, "    retries by cause: %v\n", stats.RetriesByCause)
+		}
+		if err := stats.Check(); err != nil {
+			return err
+		}
+	}
+	if short {
+		fmt.Fprintf(w, "\n  SMOKE GATE PASSED: all chaos invariants held across %d seeds\n", len(seeds))
+	} else {
+		fmt.Fprintln(w, "\n  all chaos invariants held")
+	}
 	return nil
 }

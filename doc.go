@@ -307,6 +307,55 @@
 // Accountant.Snapshot. `rl metrics` runs a governed workload and dumps the
 // full exposition.
 //
+// # Fault injection and recovery
+//
+// The simulator deals its own failures, FoundationDB-simulation style
+// (§2.1): give fdb.Options.Faults a seeded FaultInjector and it injects
+// not_committed conflicts at commit, transaction_too_old and future_version
+// mid-scan, latency spikes (when a latency model is on), and — the
+// interesting one — commit_unknown_result (1021), where the commit genuinely
+// may or may not have applied; the injector decides durably either way and
+// reports only ambiguity. The schedule is a pure function of the seed and
+// the operation sequence, so any failure replays exactly. Off means off:
+// with no injector configured, no fault path executes and the hot paths pay
+// nothing (the bench gate enforces it).
+//
+// Error semantics split three ways, and the façade exposes the split:
+// IsRetryable errors (conflicts, stale reads, timeouts) guarantee nothing
+// was committed, so the Runner retries them blindly. IsMaybeCommitted errors
+// guarantee nothing — blind retry could apply a write twice — so plain Run
+// surfaces them after the failing attempt as a typed *MaybeCommittedError.
+// Ambiguity is sticky: once any attempt ends maybe-committed, every later
+// terminal outcome (retry exhaustion, an application error) still reports
+// MaybeCommittedError, because a clean failure on attempt 3 cannot un-apply
+// attempt 1's possible commit. Callers whose closures converge under
+// re-execution — blind constant writes, progress-keyed batches,
+// compare-and-repair — opt into retrying ambiguity with RunIdempotent (or
+// RunnerOptions.RetryMaybeCommitted); the rl-vet `idempotent` analyzer makes
+// every such opt-in carry a written reason. Runner.Metrics breaks retries
+// and failures down by cause (conflict, too_old, future_version, timeout,
+// quota, maybe_committed), and the metrics registry exports the same labels.
+//
+// The recovery paths are built to survive exactly these faults: the
+// OnlineIndexer's batches are progress-keyed so a maybe-committed batch
+// re-runs into convergence, and a QuotaLeaseManager whose heartbeat ends
+// maybe-committed drops the tenant to the floor slice immediately — the
+// lease row may hold a different grant than the one it remembers, and
+// enforcing a stale larger slice would over-grant the cluster.
+//
+// Scrubber is the §6-style defense in depth behind all of it: a
+// bidirectional index consistency check (every physical entry points at a
+// record still producing it; every entry a record produces exists with the
+// right covering value) in bounded snapshot-read batches resumed by
+// continuation, with an idempotent Repair mode (`rl scrub` demonstrates
+// corruption, detection, repair). The chaos harness (cmd/experiments -run
+// chaos; -short is the CI gate) runs a mixed workload under a fault storm
+// over three pinned seeds and asserts the end-to-end invariants: no
+// acknowledged write lost, no ghost write from a cleanly-failed commit, a
+// shared counter within [acked, acked+unknown], indexes scrub clean, and
+// lease slices within the decay bound — and its self-test proves the gate
+// fails when idempotency is misdeclared.
+//
 // The implementation lives under internal/: the FoundationDB simulator
 // (internal/fdb), the tuple, subspace, directory and keyspace layers, a
 // dynamic protobuf (internal/message), schema management
@@ -325,11 +374,12 @@
 // be awaited on all paths, library code must thread the caller's context
 // and injected clock rather than reaching for context.Background or
 // time.Now, reads in the record-store and index layers must flow through
-// the tenant meter, and obs recording calls must hide behind a nil check so
-// observability-off costs one pointer compare. cmd/rl-vet (a stdlib-only
-// go/analysis-style suite in internal/lint) checks all six invariants over
-// the whole tree in CI; LINTING.md documents each analyzer, its fixture,
-// and the reasoned //lint:allow audit trail.
+// the tenant meter, obs recording calls must hide behind a nil check so
+// observability-off costs one pointer compare, and every opt-in to retrying
+// maybe-committed commits must carry a reasoned //rl:idempotent directive.
+// cmd/rl-vet (a stdlib-only go/analysis-style suite in internal/lint) checks
+// all seven invariants over the whole tree in CI; LINTING.md documents each
+// analyzer, its fixture, and the reasoned //lint:allow audit trail.
 //
 // See README.md for a guided overview, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for the paper-versus-measured record of every table and

@@ -108,7 +108,8 @@ func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
 		batch = 64
 	}
 	// Phase 1: clear any stale data and enter write-only (§6).
-	_, err := o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+	//rl:idempotent clear-then-mark-write-only converges: re-running after a maybe-committed attempt re-clears and re-marks the same state
+	_, err := o.DB.TransactIdempotent(func(tr *fdb.Transaction) (interface{}, error) {
 		if o.Trace != nil {
 			tr.SetTrace(o.Trace)
 		}
@@ -157,7 +158,8 @@ func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
 	}
 
 	// Phase 3: mark readable and clear progress.
-	_, err = o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+	//rl:idempotent clearing the progress key and marking readable applies the same end state however many times it commits
+	_, err = o.DB.TransactIdempotent(func(tr *fdb.Transaction) (interface{}, error) {
 		if o.Trace != nil {
 			tr.SetTrace(o.Trace)
 		}
@@ -174,8 +176,13 @@ func (o *OnlineIndexer) Build(ctx context.Context) (int, error) {
 }
 
 // buildBatch indexes up to batch records, resuming from stored progress.
+// Batches are idempotent by construction — Build refuses non-idempotent index
+// types — so a batch whose commit fate is unknown is simply re-run: if the
+// first commit applied, the rerun rewrites identical index entries and the
+// same progress key.
 func (o *OnlineIndexer) buildBatch(batch int) (int, bool, error) {
-	v, err := o.DB.Transact(func(tr *fdb.Transaction) (interface{}, error) {
+	//rl:idempotent Build only accepts idempotent index types; re-indexing a batch and rewriting its progress key converges
+	v, err := o.DB.TransactIdempotent(func(tr *fdb.Transaction) (interface{}, error) {
 		if o.Trace != nil {
 			tr.SetTrace(o.Trace)
 		}

@@ -254,6 +254,13 @@ func (s *Store) indexSpace(name string) subspace.Subspace {
 	return s.space.Sub(indexSub, name)
 }
 
+// IndexSubspace exposes an index's dedicated subspace for tooling — the
+// scrubber demo and debugging utilities that inspect (or deliberately
+// corrupt) physical entries. Foreground code should go through ScanIndex.
+func (s *Store) IndexSubspace(name string) subspace.Subspace {
+	return s.indexSpace(name)
+}
+
 func (s *Store) stateKey(name string) []byte {
 	return s.space.Pack(tuple.Tuple{stateSub, name})
 }

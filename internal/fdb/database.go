@@ -71,6 +71,10 @@ type Options struct {
 	// awaiting overlap within one window. The zero value keeps reads instant,
 	// so existing callers and tests are unaffected.
 	Latency LatencyModel
+	// Faults, when non-nil, deals seeded deterministic failures into reads
+	// and commits (see FaultInjector). Nil — the default — costs one pointer
+	// check per operation: injection off must be free.
+	Faults *FaultInjector
 }
 
 // LatencyModel prices simulated I/O: a fixed per-read cost (the network
@@ -284,6 +288,30 @@ func (d *Database) commit(t *Transaction) (int64, error) {
 		}
 	}
 
+	// Fault injection happens after validation: a commit that would have
+	// conflicted anyway reports the real conflict, so injected failures only
+	// replace successes. For unknown-result the injector decides whether the
+	// mutations genuinely apply — the client-visible error is identical
+	// either way, which is the whole point of commit_unknown_result.
+	if f := d.opts.Faults; f != nil {
+		switch f.commitFault() {
+		case commitFailNot:
+			d.metrics.Conflicts.Add(1)
+			return 0, errCode(CodeNotCommitted, "transaction conflict (injected)")
+		case commitUnknownDropped:
+			return 0, errCode(CodeCommitUnknownResult, "commit result unknown (injected)")
+		case commitUnknownApplied:
+			d.applyLocked(t)
+			return 0, errCode(CodeCommitUnknownResult, "commit result unknown (injected)")
+		}
+	}
+
+	return d.applyLocked(t), nil
+}
+
+// applyLocked applies a validated transaction's mutations atomically,
+// returning the commit version. Caller holds d.mu.
+func (d *Database) applyLocked(t *Transaction) int64 {
 	commitVersion := d.version + d.opts.VersionStep
 	root := t.applyTo(d.root, commitVersion)
 
@@ -305,7 +333,7 @@ func (d *Database) commit(t *Transaction) (int64, error) {
 	d.version = commitVersion
 	d.root = root
 	d.metrics.Commits.Add(1)
-	return commitVersion, nil
+	return commitVersion
 }
 
 // Transact runs f in a retry loop: the transaction is committed after f
@@ -314,15 +342,26 @@ func (d *Database) commit(t *Transaction) (int64, error) {
 // Options.RetryLimit and spaced by exponential backoff so a persistently
 // conflicting workload degrades into errors instead of spinning forever.
 func (d *Database) Transact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
-	return d.transact(f, true)
+	return d.transact(f, true, false)
+}
+
+// TransactIdempotent is Transact for closures the caller asserts are
+// idempotent: a commit_unknown_result (whose commit may or may not have
+// applied) is retried like a clean failure, because re-running and
+// re-committing idempotent work converges to the same state either way.
+// Non-idempotent closures must use Transact, which surfaces the ambiguity to
+// the caller instead. Call sites carry a reasoned //rl:idempotent directive
+// (enforced by rl-vet's idempotent analyzer).
+func (d *Database) TransactIdempotent(f func(*Transaction) (interface{}, error)) (interface{}, error) {
+	return d.transact(f, true, true)
 }
 
 // ReadTransact runs f in a read-only transaction (no commit).
 func (d *Database) ReadTransact(f func(*Transaction) (interface{}, error)) (interface{}, error) {
-	return d.transact(f, false)
+	return d.transact(f, false, false)
 }
 
-func (d *Database) transact(f func(*Transaction) (interface{}, error), commit bool) (interface{}, error) {
+func (d *Database) transact(f func(*Transaction) (interface{}, error), commit, retryUnknown bool) (interface{}, error) {
 	backoff := d.opts.RetryBackoff
 	for retries := 0; ; retries++ {
 		tr := d.CreateTransaction()
@@ -336,7 +375,7 @@ func (d *Database) transact(f func(*Transaction) (interface{}, error), commit bo
 				return v, nil
 			}
 		}
-		if !IsRetryable(err) {
+		if !IsRetryable(err) && !(retryUnknown && IsMaybeCommitted(err)) {
 			return nil, err
 		}
 		if d.opts.RetryLimit > 0 && retries >= d.opts.RetryLimit {

@@ -9,7 +9,9 @@ import (
 // Layer) can make the same retry decisions it would against a real cluster.
 const (
 	CodeNotCommitted        = 1020 // transaction conflict; retryable
+	CodeCommitUnknownResult = 1021 // commit may or may not have applied; ambiguous, NOT retryable
 	CodeTransactionTooOld   = 1007 // read version is before the MVCC window
+	CodeFutureVersion       = 1009 // read version is ahead of the cluster; retryable
 	CodeTransactionTimedOut = 1031 // exceeded the 5 second limit
 	CodeTransactionCanceled = 1025
 	CodeUsedDuringCommit    = 2017
@@ -30,10 +32,13 @@ func (e *Error) Error() string {
 }
 
 // Retryable reports whether the standard retry loop should re-run the
-// transaction after this error.
+// transaction after this error. commit_unknown_result is deliberately NOT
+// here: the commit may have applied, so blindly re-running a non-idempotent
+// closure risks a double write. Callers that know their closure is idempotent
+// opt in via TransactIdempotent / Runner.RunIdempotent.
 func (e *Error) Retryable() bool {
 	switch e.Code {
-	case CodeNotCommitted, CodeTransactionTooOld, CodeTransactionTimedOut:
+	case CodeNotCommitted, CodeTransactionTooOld, CodeFutureVersion, CodeTransactionTimedOut:
 		return true
 	}
 	return false
@@ -55,4 +60,13 @@ func IsRetryable(err error) bool {
 func IsConflict(err error) bool {
 	var fe *Error
 	return errors.As(err, &fe) && fe.Code == CodeNotCommitted
+}
+
+// IsMaybeCommitted reports whether err is (or wraps) commit_unknown_result:
+// the commit's fate is genuinely unknown — it may or may not be durable.
+// Unlike a clean failure, the only safe generic reaction is to surface the
+// ambiguity; retrying is sound only for idempotent work.
+func IsMaybeCommitted(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Code == CodeCommitUnknownResult
 }

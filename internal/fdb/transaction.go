@@ -286,6 +286,9 @@ func (t *Transaction) issueLocked(nbytes int) int64 {
 		issueAt = t.grvReady
 	}
 	ready := issueAt + int64(m.readCost(nbytes))
+	if f := t.db.opts.Faults; f != nil {
+		ready += f.latencySpike()
+	}
 	if t.trace != nil {
 		t.trace.Add(obs.SpanRead, issueAt, ready, nbytes, "")
 	}
@@ -326,6 +329,11 @@ func (t *Transaction) awaitRead(ready int64) {
 func (t *Transaction) getLocked(key []byte, snapshot bool) ([]byte, error) {
 	if err := t.checkUsable(); err != nil {
 		return nil, err
+	}
+	if f := t.db.opts.Faults; f != nil {
+		if err := f.readFault(); err != nil {
+			return nil, err
+		}
 	}
 	if len(key) > t.db.opts.Limits.MaxKeySize {
 		return nil, errCode(CodeKeyTooLarge, "key of %d bytes exceeds limit", len(key))
@@ -425,6 +433,13 @@ func (t *Transaction) getRangeAsync(begin, end []byte, o RangeOptions, snapshot 
 func (t *Transaction) getRangeLocked(begin, end []byte, o RangeOptions, snapshot bool) ([]KeyValue, bool, int, error) {
 	if err := t.checkUsable(); err != nil {
 		return nil, false, 0, err
+	}
+	// A fault here lands mid-scan from the cursor's perspective: earlier
+	// batches of the same logical scan already succeeded.
+	if f := t.db.opts.Faults; f != nil {
+		if err := f.readFault(); err != nil {
+			return nil, false, 0, err
+		}
 	}
 	if bytes.Compare(begin, end) >= 0 {
 		return nil, false, 0, nil

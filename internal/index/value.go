@@ -93,6 +93,38 @@ func (m *ValueMaintainer) entryKey(space subspace.Subspace, key, pk tuple.Tuple)
 	return space.Pack(key.Append(pk...))
 }
 
+// ExpectedEntries returns the entries record r should have in this index:
+// the evaluated key expression split into key and covering-value columns,
+// each carrying r's primary key. A nil or non-applicable record has none.
+// The consistency scrubber compares these against the physical entries.
+func (m *ValueMaintainer) ExpectedEntries(r *Record) ([]Entry, error) {
+	ts, err := entriesFor(m.ix, r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(ts))
+	for _, t := range ts {
+		key, value := m.splitEntry(t)
+		out = append(out, Entry{Key: key, PrimaryKey: r.PrimaryKey, Value: value})
+	}
+	return out, nil
+}
+
+// EntryKey returns the physical key an entry occupies within space, so the
+// scrubber can probe for (and repair) individual entries.
+func (m *ValueMaintainer) EntryKey(space subspace.Subspace, e Entry) []byte {
+	return m.entryKey(space, e.Key, e.PrimaryKey)
+}
+
+// EntryValue returns the physical value an entry stores: the packed covering
+// columns, or nil when the entry has none.
+func (m *ValueMaintainer) EntryValue(e Entry) []byte {
+	if len(e.Value) > 0 {
+		return e.Value.Pack()
+	}
+	return nil
+}
+
 // UpdateAsync implements Maintainer. The issue phase performs all mutations
 // — removals, then insertions — and issues the uniqueness probes between
 // them, so a record vacating its own old key probes the post-clear state and

@@ -18,6 +18,7 @@ func run(t *testing.T, a *lint.Analyzer, asPath string) {
 }
 
 func TestRetrySafe(t *testing.T)    { run(t, lint.RetrySafe, "recordlayer/internal/lintfixture") }
+func TestIdempotent(t *testing.T)   { run(t, lint.Idempotent, "recordlayer/internal/lintfixture") }
 func TestFutureAwait(t *testing.T)  { run(t, lint.FutureAwait, "recordlayer/internal/lintfixture") }
 func TestCtxPropagate(t *testing.T) { run(t, lint.CtxPropagate, "recordlayer/internal/lintfixture") }
 func TestClockInject(t *testing.T)  { run(t, lint.ClockInject, "recordlayer/internal/workload") }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"recordlayer/internal/fdb"
 	"recordlayer/internal/obs"
 	"recordlayer/internal/resource"
 )
@@ -55,9 +56,11 @@ type Manager struct {
 // holding is the per-tenant state demand estimation needs between refreshes.
 type holding struct {
 	slice     Slice
+	global    resource.Limits // the global budget the slice was cut from
 	lastUsage resource.Usage
 	lastTime  time.Time
 	primed    bool // lastUsage/lastTime valid (one refresh observed)
+	decayed   bool // slice already decayed to the floor after expiring unrenewed
 }
 
 // NewManager creates a manager claiming slices for gov (and observing demand
@@ -116,6 +119,9 @@ func (m *Manager) Refresh() (int, error) {
 func (m *Manager) refresh() (int, error) {
 	all, err := m.limits.All()
 	if err != nil {
+		m.mu.Lock()
+		m.decayExpiredLocked(m.opts.Clock())
+		m.mu.Unlock()
 		return 0, err
 	}
 	m.gov.ApplyLimits(all)
@@ -139,16 +145,31 @@ func (m *Manager) refresh() (int, error) {
 			h = &holding{}
 			m.held[tenant] = h
 		}
+		h.global = global
 		usage := acct.Tenant(tenant).Snapshot()
 		d := h.demand(usage, now)
 		slice, err := m.store.Claim(tenant, m.opts.Server, global.TxnPerSecond, global.BytesPerSecond, d, now, m.opts.TTL)
 		if err != nil {
+			// The heartbeat failed mid-claim. Any holding whose row has
+			// expired unrenewed may already be reclaimed by peers, so keeping
+			// its stale slice would over-grant; decay those to the floor
+			// until a heartbeat succeeds again.
+			if fdb.IsMaybeCommitted(err) {
+				// The claim's commit fate is unknown: the row may now hold
+				// the re-sized slice (possibly smaller than what we remember)
+				// while we still enforce the old grant — exceeding our actual
+				// reservation. The held slice can't be trusted either way, so
+				// decay this tenant to the floor immediately.
+				m.decayToFloorLocked(tenant, h)
+			}
+			m.decayExpiredLocked(now)
 			return leased, err
 		}
 		h.slice = slice
 		h.lastUsage = usage
 		h.lastTime = now
 		h.primed = true
+		h.decayed = false
 		m.gov.SetLease(tenant, leasedLimits(global, slice))
 		leased++
 	}
@@ -158,6 +179,44 @@ func (m *Manager) refresh() (int, error) {
 		}
 	}
 	return leased, nil
+}
+
+// decayExpiredLocked shrinks every holding whose lease row has expired
+// unrenewed down to the MinFraction floor (the same idle floor a live claim
+// is guaranteed). Once a row's TTL passes without a successful renewal, peers
+// are entitled to reclaim and re-split the slice — continuing to enforce the
+// stale grant here would let cluster-wide enforced rates exceed the global
+// budget. The floor keeps a recovering server able to do minimal work; a
+// holding that never obtained a slice at all decays immediately, since the
+// governor would otherwise enforce the full configured global limits locally
+// while peers hold slices of the same budget. Caller holds m.mu.
+func (m *Manager) decayExpiredLocked(now time.Time) {
+	for tenant, h := range m.held {
+		if h.decayed {
+			continue
+		}
+		if h.global.TxnPerSecond <= 0 && h.global.BytesPerSecond <= 0 {
+			continue
+		}
+		if !h.slice.Expires.IsZero() && now.Before(h.slice.Expires) {
+			continue // the row is still live; the slice is still ours
+		}
+		m.decayToFloorLocked(tenant, h)
+	}
+}
+
+// decayToFloorLocked shrinks one holding to the MinFraction floor and installs
+// the floored lease, regardless of the slice's expiry. Used both for expired
+// unrenewed rows and for maybe-committed claims whose held slice can no longer
+// be trusted. Caller holds m.mu.
+func (m *Manager) decayToFloorLocked(tenant string, h *holding) {
+	floor := Slice{
+		Txn:   h.global.TxnPerSecond * MinFraction,
+		Bytes: h.global.BytesPerSecond * MinFraction,
+	}
+	h.slice = floor
+	h.decayed = true
+	m.gov.SetLease(tenant, leasedLimits(h.global, floor))
 }
 
 // dropLocked releases tenant's lease row and reverts the governor to the

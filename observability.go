@@ -2,6 +2,7 @@ package recordlayer
 
 import (
 	"context"
+	"sort"
 
 	"recordlayer/internal/fdb"
 	"recordlayer/internal/obs"
@@ -86,7 +87,10 @@ func RegisterDatabaseMetrics(r *MetricsRegistry, db *fdb.Database) {
 		func() []MetricSample { return obs.Single(float64(m.SimWaitNanos.Load()) / 1e9) })
 }
 
-// RegisterRunnerMetrics exports a runner's retry-loop counters.
+// RegisterRunnerMetrics exports a runner's retry-loop counters, including
+// the per-cause retry and failure breakdowns (cause label: conflict, too_old,
+// future_version, timeout, quota, maybe_committed, canceled, other) that make
+// chaos runs attributable.
 func RegisterRunnerMetrics(r *MetricsRegistry, run *Runner) {
 	r.Counter("runner_runs_total", "Completed successful executions.",
 		func() []MetricSample { return obs.Single(float64(run.Metrics().Runs)) })
@@ -94,6 +98,25 @@ func RegisterRunnerMetrics(r *MetricsRegistry, run *Runner) {
 		func() []MetricSample { return obs.Single(float64(run.Metrics().Retries)) })
 	r.Counter("runner_failures_total", "Executions that returned an error.",
 		func() []MetricSample { return obs.Single(float64(run.Metrics().Failures)) })
+	r.Counter("runner_retries_by_cause_total", "Re-executions broken down by classified cause.",
+		func() []MetricSample { return causeSamples(run.Metrics().RetriesByCause) })
+	r.Counter("runner_failures_by_cause_total", "Caller-visible failures broken down by classified cause.",
+		func() []MetricSample { return causeSamples(run.Metrics().FailuresByCause) })
+}
+
+// causeSamples renders a cause-count map as labeled samples in sorted cause
+// order, so scrapes are deterministic.
+func causeSamples(m map[string]int64) []MetricSample {
+	causes := make([]string, 0, len(m))
+	for c := range m {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	out := make([]MetricSample, 0, len(causes))
+	for _, c := range causes {
+		out = append(out, MetricSample{Labels: []MetricLabel{{Key: "cause", Value: c}}, Value: float64(m[c])})
+	}
+	return out
 }
 
 // tenantSamples collects one float per tenant usage row.

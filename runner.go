@@ -2,6 +2,7 @@ package recordlayer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -50,6 +51,14 @@ type RunnerOptions struct {
 	// and writes automatically. Nil falls back to the Governor's accountant;
 	// if both are nil, metering is off.
 	Accountant *resource.Accountant
+	// RetryMaybeCommitted declares that every closure passed to this runner
+	// is idempotent, so commit_unknown_result — a commit that may or may not
+	// have applied — is retried like a clean failure. Leave false (the
+	// default) unless that is genuinely true of all callers: re-running a
+	// non-idempotent closure after an applied-but-unacknowledged commit
+	// double-writes. Prefer the per-call RunIdempotent for closures that can
+	// make the promise individually.
+	RetryMaybeCommitted bool
 }
 
 func (o RunnerOptions) withDefaults() RunnerOptions {
@@ -100,6 +109,57 @@ type RunnerMetrics struct {
 	Retries int64
 	// Failures counts executions that returned an error to the caller.
 	Failures int64
+	// RetriesByCause breaks Retries down by the classified cause of the
+	// attempt error that triggered each retry (see retry causes below). Nil
+	// until the first retry.
+	RetriesByCause map[string]int64
+	// FailuresByCause breaks Failures down by the classified cause of the
+	// error returned to the caller. Nil until the first failure.
+	FailuresByCause map[string]int64
+}
+
+// Retry/failure cause labels recorded in RunnerMetrics and on attempt spans.
+// Chaos runs use these to attribute exactly which failure mode each retry
+// answered.
+const (
+	CauseConflict       = "conflict"        // not_committed: clean optimistic-concurrency abort
+	CauseTooOld         = "too_old"         // transaction_too_old: read version left the MVCC window
+	CauseFutureVersion  = "future_version"  // future_version: cluster behind the cached read version
+	CauseTimeout        = "timeout"         // transaction_timed_out: 5 s transaction limit
+	CauseQuota          = "quota"           // admission rejected over tenant quota
+	CauseMaybeCommitted = "maybe_committed" // commit_unknown_result: fate of the commit unknown
+	CauseCanceled       = "canceled"        // context canceled or deadline exceeded
+	CauseOther          = "other"           // anything else (application errors)
+)
+
+// errCause classifies an error into one of the Cause* labels.
+func errCause(err error) string {
+	if err == nil {
+		return ""
+	}
+	var qe *resource.QuotaExceededError
+	if errors.As(err, &qe) {
+		return CauseQuota
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return CauseCanceled
+	}
+	var fe *fdb.Error
+	if errors.As(err, &fe) {
+		switch fe.Code {
+		case fdb.CodeNotCommitted:
+			return CauseConflict
+		case fdb.CodeTransactionTooOld:
+			return CauseTooOld
+		case fdb.CodeFutureVersion:
+			return CauseFutureVersion
+		case fdb.CodeTransactionTimedOut:
+			return CauseTimeout
+		case fdb.CodeCommitUnknownResult:
+			return CauseMaybeCommitted
+		}
+	}
+	return CauseOther
 }
 
 // RetryLimitError wraps the last retryable error once the attempt budget is
@@ -115,6 +175,36 @@ func (e *RetryLimitError) Error() string {
 
 // Unwrap returns the final attempt's error.
 func (e *RetryLimitError) Unwrap() error { return e.Last }
+
+// MaybeCommittedError reports that an execution ended with
+// commit_unknown_result ambiguity: some attempt's commit may or may not have
+// applied, and the runner could not resolve the doubt — the closure made no
+// idempotency promise, or the attempt budget (or the context) ran out while
+// the ambiguity persisted. Ambiguity is sticky across attempts: once any
+// attempt ends maybe-committed, no later clean failure can restore the
+// "nothing was applied" guarantee, so the execution reports ambiguous no
+// matter how it terminates. The caller must treat the write as in-doubt —
+// verify by reading, or re-run only work that is safe to apply twice. Unwrap
+// exposes the terminal error.
+type MaybeCommittedError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *MaybeCommittedError) Error() string {
+	return fmt.Sprintf("recordlayer: commit result unknown after %d attempts (transaction may or may not have applied): %v", e.Attempts, e.Last)
+}
+
+// Unwrap returns the final attempt's error.
+func (e *MaybeCommittedError) Unwrap() error { return e.Last }
+
+// IsMaybeCommitted reports whether err carries commit-unknown-result
+// ambiguity — either the runner's typed MaybeCommittedError or a raw
+// fdb commit_unknown_result.
+func IsMaybeCommitted(err error) bool {
+	var me *MaybeCommittedError
+	return errors.As(err, &me) || fdb.IsMaybeCommitted(err)
+}
 
 // Runner executes transactional closures against a database with the
 // standard Record Layer retry loop (§5): bounded attempts, exponential
@@ -139,20 +229,51 @@ func (r *Runner) Database() *fdb.Database { return r.db }
 
 // Metrics returns a single atomically-assembled snapshot of the runner's
 // counters: the read happens under the same lock every completed execution
-// updates under, so concurrent Run calls can never tear it.
+// updates under, so concurrent Run calls can never tear it. The per-cause
+// maps are deep-copied, so the snapshot stays stable after release.
 func (r *Runner) Metrics() RunnerMetrics {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.m
+	m := r.m
+	m.RetriesByCause = copyCauses(r.m.RetriesByCause)
+	m.FailuresByCause = copyCauses(r.m.FailuresByCause)
+	return m
+}
+
+func copyCauses(src map[string]int64) map[string]int64 {
+	if src == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(src))
+	for c, n := range src {
+		out[c] = n
+	}
+	return out
 }
 
 // record folds one completed execution into the counters as one atomic
-// update.
-func (r *Runner) record(runs, retries, failures int64) {
+// update. retryCauses (nil when the execution never retried) and failCause
+// (empty on success) attribute the per-cause breakdowns; the no-retry success
+// path stays allocation-free.
+func (r *Runner) record(runs, retries, failures int64, retryCauses map[string]int64, failCause string) {
 	r.mu.Lock()
 	r.m.Runs += runs
 	r.m.Retries += retries
 	r.m.Failures += failures
+	if len(retryCauses) > 0 {
+		if r.m.RetriesByCause == nil {
+			r.m.RetriesByCause = make(map[string]int64)
+		}
+		for c, n := range retryCauses {
+			r.m.RetriesByCause[c] += n
+		}
+	}
+	if failures > 0 && failCause != "" {
+		if r.m.FailuresByCause == nil {
+			r.m.FailuresByCause = make(map[string]int64)
+		}
+		r.m.FailuresByCause[failCause] += failures
+	}
 	r.mu.Unlock()
 }
 
@@ -161,16 +282,29 @@ func (r *Runner) record(runs, retries, failures int64) {
 // every attempt and during backoff, so cancellation and deadlines interrupt
 // the loop promptly with ctx.Err().
 func (r *Runner) Run(ctx context.Context, fn TransactFunc) (interface{}, error) {
-	return r.run(ctx, fn, true)
+	return r.run(ctx, fn, true, r.opts.RetryMaybeCommitted)
+}
+
+// RunIdempotent is Run for a closure the caller asserts is idempotent: a
+// commit_unknown_result attempt (whose commit may or may not have applied) is
+// retried like a clean failure, because committing idempotent work a second
+// time converges to the same state. Callers that cannot make that promise
+// must use Run, which surfaces the ambiguity as *MaybeCommittedError. Call
+// sites carry a reasoned //rl:idempotent directive (enforced by rl-vet's
+// idempotent analyzer).
+func (r *Runner) RunIdempotent(ctx context.Context, fn TransactFunc) (interface{}, error) {
+	return r.run(ctx, fn, true, true)
 }
 
 // ReadRun executes fn as a read-only transaction: same retry semantics as
-// Run, but nothing is committed.
+// Run, but nothing is committed. Read-only work is inherently idempotent, so
+// maybe-committed ambiguity (which only commits can produce) never reaches
+// the caller.
 func (r *Runner) ReadRun(ctx context.Context, fn TransactFunc) (interface{}, error) {
-	return r.run(ctx, fn, false)
+	return r.run(ctx, fn, false, true)
 }
 
-func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interface{}, error) {
+func (r *Runner) run(ctx context.Context, fn TransactFunc, commit, idempotent bool) (interface{}, error) {
 	// The latency clock starts before admission: Usage.TxnTime documents
 	// end-to-end latency including retries and backoff, and the queue wait a
 	// throttled tenant experiences is exactly the signal the governor's
@@ -197,7 +331,7 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 				trace.Add(obs.SpanAdmit, start.UnixNano(), r.opts.Now().UnixNano(), 0, attr)
 			}
 			if err != nil {
-				r.record(0, 0, 1)
+				r.record(0, 0, 1, nil, errCause(err))
 				return nil, err
 			}
 			defer release()
@@ -205,9 +339,17 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 	}
 	backoff := r.opts.InitialBackoff
 	retries := int64(0)
+	var retryCauses map[string]int64
+	// ambiguous latches once any attempt ends maybe-committed: a later clean
+	// failure cannot un-apply that attempt's possible commit, so every
+	// terminal error after it must carry the ambiguity.
+	ambiguous := false
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			r.record(0, retries, 1)
+			r.record(0, retries, 1, retryCauses, CauseCanceled)
+			if ambiguous {
+				return nil, &MaybeCommittedError{Attempts: attempt - 1, Last: err}
+			}
 			return nil, err
 		}
 		tr := r.db.CreateTransaction()
@@ -220,37 +362,59 @@ func (r *Runner) run(ctx context.Context, fn TransactFunc, commit bool) (interfa
 		if err == nil && commit {
 			err = tr.Commit()
 		}
+		cause := errCause(err)
 		if trace != nil {
 			attr := fmt.Sprintf("attempt=%d", attempt)
 			if err != nil {
-				attr += " err=" + err.Error()
+				attr += " cause=" + cause + " err=" + err.Error()
 			}
 			trace.Add(obs.SpanAttempt, a0, r.opts.Now().UnixNano(), 0, attr)
 		}
 		if err == nil {
-			r.record(1, retries, 0)
+			r.record(1, retries, 0, retryCauses, "")
 			meter.RecordTxn(r.opts.Now().Sub(start))
 			return v, nil
 		}
 		if fdb.IsConflict(err) {
 			meter.RecordConflict()
 		}
-		if !fdb.IsRetryable(err) {
-			r.record(0, retries, 1)
+		// A maybe-committed attempt is ambiguous, not failed: the commit may
+		// be durable. Only an idempotency promise (RunIdempotent, read-only
+		// work, or RetryMaybeCommitted) makes re-running safe; otherwise the
+		// ambiguity goes to the caller as a typed error.
+		maybe := fdb.IsMaybeCommitted(err)
+		if maybe {
+			ambiguous = true
+		}
+		if !fdb.IsRetryable(err) && !(idempotent && maybe) {
+			r.record(0, retries, 1, retryCauses, cause)
+			if ambiguous {
+				return nil, &MaybeCommittedError{Attempts: attempt, Last: err}
+			}
 			return nil, err
 		}
 		if attempt >= r.opts.MaxAttempts {
-			r.record(0, retries, 1)
+			r.record(0, retries, 1, retryCauses, cause)
+			if ambiguous {
+				return nil, &MaybeCommittedError{Attempts: attempt, Last: err}
+			}
 			return nil, &RetryLimitError{Attempts: attempt, Last: err}
 		}
 		retries++
+		if retryCauses == nil {
+			retryCauses = make(map[string]int64, 4)
+		}
+		retryCauses[cause]++
 		delay := backoff/2 + time.Duration(r.opts.Rand()*float64(backoff/2))
 		var b0 int64
 		if trace != nil {
 			b0 = r.opts.Now().UnixNano()
 		}
 		if serr := r.opts.Sleep(ctx, delay); serr != nil {
-			r.record(0, retries, 1)
+			r.record(0, retries, 1, retryCauses, CauseCanceled)
+			if ambiguous {
+				return nil, &MaybeCommittedError{Attempts: attempt, Last: serr}
+			}
 			return nil, serr
 		}
 		if trace != nil {

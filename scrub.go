@@ -1,0 +1,25 @@
+package recordlayer
+
+import "recordlayer/internal/core"
+
+// Scrubber verifies a VALUE index against its records in both directions —
+// every physical entry must point at a live record still producing it, and
+// every entry a record should have must exist with the right value. Scans run
+// in bounded, continuation-resumed batches of snapshot reads, so large stores
+// scrub without aborting foreground writers; with Repair set inconsistencies
+// are fixed in place. See internal/core.Scrubber for field documentation and
+// `rl scrub` for a guided demonstration.
+type Scrubber = core.Scrubber
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport = core.ScrubReport
+
+// ScrubIssue is one inconsistency found by the scrubber.
+type ScrubIssue = core.ScrubIssue
+
+// Scrub issue kinds.
+const (
+	ScrubDangling = core.ScrubDangling
+	ScrubMissing  = core.ScrubMissing
+	ScrubMismatch = core.ScrubMismatch
+)
